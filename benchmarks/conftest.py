@@ -1,0 +1,35 @@
+"""Shared settings for the benchmark harness.
+
+Every figure of the paper's evaluation has a bench that regenerates its
+rows/series (reduced run counts keep the suite fast; pass
+``--paper-scale`` to use the paper's 50 runs x 100 stripes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run benches at the paper's full scale (50 runs, 100 stripes)",
+    )
+
+
+@pytest.fixture(scope="session")
+def scale(request):
+    """(runs, stripes) for traffic/balance benches."""
+    if request.config.getoption("--paper-scale"):
+        return 50, 100
+    return 5, 50
+
+
+@pytest.fixture(scope="session")
+def sim_scale(request):
+    """(runs, stripes) for benches that run the fluid simulator."""
+    if request.config.getoption("--paper-scale"):
+        return 5, 100
+    return 2, 30

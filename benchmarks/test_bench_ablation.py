@@ -1,0 +1,69 @@
+"""Benchmarks: the ablation studies DESIGN.md calls out.
+
+Not figures from the paper — they decompose *why* CAR wins and where
+its advantage scales, and validate the greedy balancer against the
+enumerated optimum.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation import (
+    run_greedy_vs_optimal,
+    run_oversubscription_sweep,
+    run_traffic_ablation,
+)
+from repro.experiments.configs import ALL_CFS, CFS1, CFS2
+from repro.experiments.report import (
+    render_greedy_vs_optimal,
+    render_oversubscription,
+    render_traffic_ablation,
+)
+
+
+def test_traffic_decomposition(benchmark, scale):
+    runs, stripes = scale
+
+    def run():
+        return [
+            run_traffic_ablation(cfg, runs=runs, num_stripes=stripes)
+            for cfg in ALL_CFS
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + render_traffic_ablation(results))
+    for res in results:
+        # Both techniques contribute; their composition (CAR) is best.
+        assert res.saving_over_rr("MinRack-noAgg") > 0
+        assert res.saving_over_rr("Random+Agg") > 0
+        assert res.traffic["CAR"] == min(res.traffic.values())
+
+
+def test_oversubscription_sweep(benchmark):
+    points = benchmark.pedantic(
+        run_oversubscription_sweep,
+        kwargs={"config": CFS1, "factors": (1.0, 2.0, 4.0, 8.0), "num_stripes": 30},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_oversubscription(CFS1.name, points))
+    # CAR's recovery-time advantage widens monotonically with scarcity.
+    savings = [p.saving for p in points]
+    assert savings == sorted(savings)
+    assert savings[-1] > savings[0] + 0.1
+
+
+def test_greedy_vs_enumerated_optimum(benchmark):
+    def run():
+        return [
+            run_greedy_vs_optimal(cfg, runs=6, num_stripes=5)
+            for cfg in (CFS1, CFS2)
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + render_greedy_vs_optimal(results))
+    for res in results:
+        for g, o in zip(res.greedy_lambdas, res.optimal_lambdas):
+            assert g >= o - 1e-9  # optimum is a lower bound
+        assert res.mean_gap < 0.35  # greedy is near-optimal

@@ -1,0 +1,53 @@
+"""Benchmark: degraded-read latency distributions, CAR vs RR.
+
+Extension beyond the paper's figures: per-request latency of serving a
+read of a lost chunk, across all three CFS settings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import ALL_CFS
+from repro.experiments.degraded import run_degraded_read
+from repro.experiments.report import format_table
+
+
+def test_degraded_read_latency(benchmark, scale):
+    runs, stripes = scale
+
+    def run_all():
+        return [
+            run_degraded_read(cfg, runs=runs, num_stripes=stripes)
+            for cfg in ALL_CFS
+        ]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for res in results:
+        for name in ("CAR", "RR"):
+            d = res.distributions[name]
+            rows.append(
+                [
+                    res.config_name,
+                    name,
+                    f"{d.mean * 1000:.0f}ms",
+                    f"{d.p50 * 1000:.0f}ms",
+                    f"{d.p99 * 1000:.0f}ms",
+                    f"{d.worst * 1000:.0f}ms",
+                    d.samples,
+                ]
+            )
+    print(
+        "\ndegraded-read latency per lost-chunk request (4MB chunks)\n"
+        + format_table(
+            ["CFS", "strategy", "mean", "p50", "p99", "max", "reqs"], rows
+        )
+    )
+    for res in results:
+        car = res.distributions["CAR"]
+        rr = res.distributions["RR"]
+        # Shape: CAR serves degraded reads faster on average and at p99.
+        assert car.mean < rr.mean, res.config_name
+        assert car.p99 <= rr.p99 * 1.05, res.config_name
+        assert res.speedup() > 1.0

@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Figure 10 (transmission vs computation time)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.report import render_fig10
+
+
+def test_fig10_both_panels(benchmark, scale):
+    runs, stripes = scale
+    result = benchmark.pedantic(
+        run_fig10,
+        kwargs={"runs": runs, "num_stripes": stripes},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_fig10(result))
+    # Panel (a) shape: transmission dominates for every bar.
+    for row in result.rows:
+        assert row.transmission_ratio > 0.6, (row.config_name, row.strategy)
+    # Panel (a) shape: computation share shrinks as k grows (RR and CAR).
+    for strategy in ("RR", "CAR"):
+        shares = {
+            r.config_name: r.computation_ratio
+            for r in result.rows
+            if r.strategy == strategy
+        }
+        assert shares["CFS3"] < shares["CFS1"], strategy
+    # Panel (b) shape: CAR's total decode time within ~25 % of RR's
+    # (the paper reports ~10 %; heterogeneity across delegates widens it
+    # slightly at reduced run counts).
+    for name, ratio in result.normalized_computation.items():
+        assert 0.7 < ratio < 1.35, name

@@ -1,0 +1,49 @@
+"""Benchmark: regenerate Figure 7 (cross-rack repair traffic, CAR vs RR).
+
+Prints the same rows the paper plots — total cross-rack traffic in MB
+per CFS setting and chunk size — and asserts the paper's qualitative
+shape (CAR always below RR; saving grows with k; traffic linear in
+chunk size).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import ALL_CFS
+from repro.experiments.fig7 import run_fig7_single
+from repro.experiments.report import render_fig7
+
+
+@pytest.mark.parametrize("config", ALL_CFS, ids=lambda c: c.name)
+def test_fig7_panel(benchmark, config, scale):
+    runs, stripes = scale
+    result = benchmark.pedantic(
+        run_fig7_single,
+        kwargs={"config": config, "runs": runs, "num_stripes": stripes},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_fig7([result]))
+    car, rr = result.series["CAR"], result.series["RR"]
+    # Shape: CAR strictly below RR at every chunk size.
+    for c, r in zip(car.means, rr.means):
+        assert c < r
+    # Shape: traffic scales linearly with chunk size.
+    assert car.means[2] == pytest.approx(4 * car.means[0], rel=1e-9)
+    # Shape: substantial saving, in the paper's 50-70 % band.
+    assert 0.30 < result.max_saving < 0.85
+
+
+def test_fig7_saving_grows_with_k(benchmark, scale):
+    """The cross-panel claim: the saving at CFS3 (k=10) exceeds CFS1 (k=4)."""
+    runs, stripes = scale
+
+    def run():
+        return [
+            run_fig7_single(cfg, runs=runs, num_stripes=stripes)
+            for cfg in (ALL_CFS[0], ALL_CFS[2])
+        ]
+
+    cfs1, cfs3 = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cfs3.max_saving > cfs1.max_saving

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 8 (load-balancing rate vs iterations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import ALL_CFS
+from repro.experiments.fig8 import run_fig8_single
+from repro.experiments.report import render_fig8
+
+
+@pytest.mark.parametrize("config", ALL_CFS, ids=lambda c: c.name)
+def test_fig8_panel(benchmark, config, scale):
+    runs, stripes = scale
+    result = benchmark.pedantic(
+        run_fig8_single,
+        kwargs={"config": config, "runs": runs, "num_stripes": stripes},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_fig8([result]))
+    # Shape: balancing strictly improves lambda and plateaus near 1.
+    assert result.final_lambda < result.initial_lambda
+    assert 1.0 <= result.final_lambda < 1.3
+    # Shape: lambda is non-increasing across iteration checkpoints.
+    means = result.balanced.means
+    assert all(b <= a + 1e-9 for a, b in zip(means, means[1:]))
+    # The paper's CFS1 anchor values: ~1.22 unbalanced, ~1.02 balanced.
+    if config.name == "CFS1":
+        assert 1.05 < result.initial_lambda < 1.45
+        assert result.final_lambda < 1.15

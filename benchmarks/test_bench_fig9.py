@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Figure 9 (recovery time per lost chunk).
+
+Runs the fluid network simulation of both strategies' full recovery
+plans over the GbE fabric with Table III hardware.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import ALL_CFS
+from repro.experiments.fig9 import run_fig9_single
+from repro.experiments.report import render_fig9
+
+
+@pytest.mark.parametrize("config", ALL_CFS, ids=lambda c: c.name)
+def test_fig9_panel(benchmark, config, sim_scale):
+    runs, stripes = sim_scale
+    result = benchmark.pedantic(
+        run_fig9_single,
+        kwargs={"config": config, "runs": runs, "num_stripes": stripes},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_fig9([result]))
+    car, rr = result.series["CAR"], result.series["RR"]
+    # Shape: CAR faster at every chunk size.
+    for c, r in zip(car.means, rr.means):
+        assert c < r
+    # Shape: time grows with chunk size for both strategies.
+    for series in (car, rr):
+        assert series.means[0] < series.means[1] < series.means[2]
+    # Shape: meaningful saving (paper: up to 53.8 %).
+    assert result.max_saving > 0.15
+
+
+def test_fig9_saving_grows_with_k(benchmark, sim_scale):
+    runs, stripes = sim_scale
+
+    def run():
+        return [
+            run_fig9_single(cfg, runs=runs, num_stripes=stripes)
+            for cfg in (ALL_CFS[0], ALL_CFS[2])
+        ]
+
+    cfs1, cfs3 = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cfs3.max_saving > cfs1.max_saving

@@ -1,0 +1,71 @@
+"""Benchmark: the repair-traffic landscape around CAR.
+
+Positions the paper's contribution among its related work with concrete
+numbers: per repaired chunk, how much data moves in total and across
+racks for RS+RR, RS+CAR, rack-aligned LRC, and PM-MSR — plus the
+Dimakis cut-set corner points for the same (k, d).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import mbr_point, msr_point, tradeoff_curve
+from repro.analysis.landscape import repair_landscape
+from repro.experiments.configs import CFS2
+from repro.experiments.report import format_table
+
+
+def test_repair_landscape(benchmark, scale):
+    runs, stripes = scale
+    rows = benchmark.pedantic(
+        repair_landscape,
+        kwargs={"config": CFS2, "runs": runs, "num_stripes": stripes},
+        rounds=1,
+        iterations=1,
+    )
+    table = [
+        [
+            r.scheme,
+            f"{r.total_chunks:.2f}",
+            "-" if r.cross_rack_chunks is None else f"{r.cross_rack_chunks:.2f}",
+            f"{r.storage_overhead:.2f}x",
+        ]
+        for r in rows
+    ]
+    print(
+        "\nrepair cost per lost chunk (chunk units), CFS2 (k=6, m=3)\n"
+        + format_table(
+            ["scheme", "total", "cross-rack", "storage"], table
+        )
+    )
+    by = {r.scheme: r for r in rows}
+    assert (
+        by["RS + CAR"].cross_rack_chunks < by["RS + RR"].cross_rack_chunks
+    )
+    lrc = next(r for r in rows if r.scheme.startswith("LRC"))
+    msr = next(r for r in rows if r.scheme.startswith("PM-MSR"))
+    assert lrc.cross_rack_chunks == 0.0
+    assert msr.total_chunks == pytest.approx(2.0)
+    # The ordering the literature predicts: MSR < LRC-local < RS totals.
+    assert msr.total_chunks < lrc.total_chunks < by["RS + RR"].total_chunks
+
+
+def test_cutset_tradeoff_curve(benchmark):
+    k, d, B = 6, 10, 6.0
+
+    def compute():
+        return (
+            msr_point(B, n=12, k=k, d=d),
+            mbr_point(B, n=12, k=k, d=d),
+            tradeoff_curve(B, n=12, k=k, d=d, points=6),
+        )
+
+    msr, mbr, curve = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [[p.label, f"{p.alpha:.3f}", f"{p.gamma:.3f}"] for p in curve]
+    print(
+        f"\nstorage/repair-bandwidth trade-off (B={B:g}, k={k}, d={d})\n"
+        + format_table(["point", "alpha", "gamma"], rows)
+    )
+    assert curve[0].gamma == pytest.approx(msr.gamma, rel=1e-6)
+    assert curve[-1].gamma == pytest.approx(mbr.gamma, rel=1e-6)

@@ -1,0 +1,51 @@
+"""Benchmark: regenerate Tables II and III (evaluation configurations).
+
+These are inputs rather than results, but regenerating them validates
+that the configuration layer produces exactly the paper's settings and
+measures the cost of building a full experiment state.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.configs import ALL_CFS, build_state
+from repro.experiments.report import format_table
+from repro.sim.hardware import TABLE_III_PROFILES
+
+
+def test_table2_configurations(benchmark):
+    def build_all():
+        return [build_state(cfg, seed=1) for cfg in ALL_CFS]
+
+    states = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    rows = []
+    for cfg in ALL_CFS:
+        sizes = list(cfg.rack_sizes) + [""] * (5 - len(cfg.rack_sizes))
+        rows.append([cfg.name, *sizes, f"k={cfg.k},m={cfg.m}"])
+    print("\nTable II - configurations of three CFS settings\n"
+          + format_table(["CFS", "A1", "A2", "A3", "A4", "A5", "RS code"], rows))
+    # Validate against the paper's Table II.
+    assert [tuple(c.rack_sizes) for c in ALL_CFS] == [
+        (4, 3, 3),
+        (4, 3, 3, 3),
+        (6, 4, 5, 3, 2),
+    ]
+    assert [(c.k, c.m) for c in ALL_CFS] == [(4, 3), (6, 3), (10, 4)]
+    # The methodology: 100 stripes, rack-fault-tolerant random placement.
+    for state in states:
+        assert state.placement.num_stripes == 100
+        assert state.placement.is_rack_fault_tolerant()
+
+
+def test_table3_hardware(benchmark):
+    profiles = benchmark.pedantic(
+        lambda: list(TABLE_III_PROFILES), rounds=1, iterations=1
+    )
+    rows = [
+        [p.name, p.cpu_label, f"{p.memory_gb}GB", p.os_label, p.disk_label]
+        for p in profiles
+    ]
+    print("\nTable III - configurations of nodes in each rack\n"
+          + format_table(["Rack", "CPU", "Memory", "OS", "Disk"], rows))
+    assert [p.memory_gb for p in profiles] == [16, 8, 8, 4, 8]
+    assert profiles[0].cpu_label.startswith("AMD Opteron")
+    assert profiles[3].disk_label == "300GB"

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""A client's view: files on an erasure-coded, rack-aware cluster.
+
+Stores real files in a :class:`FileStore` (GFS/HDFS-style striping over
+a (6, 3) RS code), then walks the failure lifecycle a storage operator
+sees:
+
+1. normal reads;
+2. a node dies — reads keep working (degraded reads rebuild the lost
+   chunks on the fly via CAR's minimum-rack partial decoding);
+3. background recovery repairs the node with CAR, byte-verified;
+4. a scrubbing pass proves the cluster is healthy again.
+
+Run: ``python examples/file_storage.py``
+"""
+
+import hashlib
+
+from repro.cluster import ClusterTopology, FileStore, Scrubber
+from repro.cluster.failure import FailureInjector
+from repro.erasure import RSCode
+from repro.recovery import CarStrategy, PlanExecutor, plan_recovery, traffic_report
+
+
+def digest(b: bytes) -> str:
+    return hashlib.sha256(b).hexdigest()[:12]
+
+
+def main() -> None:
+    topology = ClusterTopology.from_rack_sizes([4, 3, 3, 3])
+    store = FileStore(topology, RSCode(6, 3), chunk_size=4096, rng=42)
+
+    # 1. Write a few files and read them back.
+    files = {
+        "logs/app.log": b"2016-06-28 12:00:01 INFO recovery started\n" * 700,
+        "data/users.db": bytes(range(256)) * 150,
+        "img/logo.png": b"\x89PNG fake image payload " * 512,
+    }
+    for name, payload in files.items():
+        info = store.write(name, payload)
+        print(
+            f"wrote {name}: {info.size} B in {info.stripes} stripe(s), "
+            f"sha {digest(payload)}"
+        )
+    for name, payload in files.items():
+        assert store.read(name) == payload
+    print("normal reads OK\n")
+
+    # 2. A node dies; clients keep reading.
+    state = store.cluster_state()
+    event = FailureInjector(rng=9).fail_random_node(state)
+    print(
+        f"node {topology.node(event.failed_node).name} failed "
+        f"({event.num_stripes} stripes affected)"
+    )
+    for name, payload in files.items():
+        got = store.read_degraded(name, event.failed_node)
+        assert got == payload
+        print(f"  degraded read {name}: sha {digest(got)} (intact)")
+
+    # 3. Background recovery with CAR, on the store's own state.
+    solution = CarStrategy().solve(state)
+    plan = plan_recovery(state, event, solution)
+    result = PlanExecutor(state).execute(plan, solution)
+    report = traffic_report(solution, store.chunk_size, "CAR")
+    print(
+        f"\nrecovery: byte-exact={result.verified}; "
+        f"{report.total_chunks} chunk(s) crossed the core "
+        f"(lambda {report.lambda_rate:.3f})"
+    )
+
+    # 4. Scrub to prove health.
+    state.heal()
+    scrub = Scrubber(state).scrub()
+    print(
+        f"scrub: {scrub.clean_stripes}/{scrub.stripes_checked} stripes "
+        f"clean, {scrub.corrupt_stripes} corruption(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Operational view: ninety days of failures on one cluster.
+
+Generates a synthetic per-node failure trace (exponential MTBF, the
+memoryless model of Ford et al.'s availability study) and replays it
+with three repair policies:
+
+- RR       — the paper's baseline;
+- CAR      — per-event minimum traffic + per-event balancing;
+- CAR-history — the extension: Algorithm 2 balancing against the
+  *cumulative* per-rack traffic, so the repair burden also evens out
+  across the quarter, not just within each event.
+
+Run: ``python examples/month_of_failures.py``
+"""
+
+from repro.experiments.configs import CFS2, build_state
+from repro.recovery import CarStrategy, RandomRecoveryStrategy
+from repro.workloads import FailureTraceGenerator, LongRunSimulator
+
+HORIZON_DAYS = 90
+MTBF_HOURS = 1500  # aggressive, to get a rich trace on 13 nodes
+
+
+def main() -> None:
+    trace = FailureTraceGenerator(
+        num_nodes=CFS2.num_nodes, mtbf_hours=MTBF_HOURS, seed=21
+    ).generate(horizon_hours=24 * HORIZON_DAYS)
+    print(
+        f"{HORIZON_DAYS}-day trace on {CFS2.num_nodes} nodes: "
+        f"{len(trace)} failures, one every "
+        f"{trace.mean_interarrival_hours():.0f} h on average\n"
+    )
+
+    factories = {
+        "RR": lambda hist: RandomRecoveryStrategy(rng=33),
+        "CAR": lambda hist: CarStrategy(),
+        "CAR-history": lambda hist: CarStrategy(baseline_traffic=list(hist)),
+    }
+    print(
+        f"{'policy':>12}  {'cross-rack':>10}  {'repair time':>11}  "
+        f"{'event λ':>8}  {'long-run λ':>10}"
+    )
+    reports = {}
+    for name, factory in factories.items():
+        simulator = LongRunSimulator(
+            lambda: build_state(CFS2, seed=8, num_stripes=100),
+            factory,
+            chunk_size=4 << 20,
+        )
+        rep = simulator.replay(trace)
+        reports[name] = rep
+        print(
+            f"{name:>12}  {rep.total_cross_rack_bytes / 2**30:>7.1f} GiB"
+            f"  {rep.total_repair_hours * 60:>9.1f} min"
+            f"  {rep.mean_lambda:>8.3f}  {rep.long_run_lambda():>10.3f}"
+        )
+
+    print("\ncumulative cross-rack chunks sourced per rack (CAR vs CAR-history):")
+    car, hist = reports["CAR"], reports["CAR-history"]
+    for rack, (a, b) in enumerate(zip(car.per_rack_chunks, hist.per_rack_chunks)):
+        print(f"  A{rack + 1}: {a:>5} vs {b:>5}")
+    print(
+        "\ntakeaway: per-event balancing does not imply long-run balance;\n"
+        "feeding Algorithm 2 the cumulative per-rack history fixes that\n"
+        "at zero extra traffic."
+    )
+
+
+if __name__ == "__main__":
+    main()

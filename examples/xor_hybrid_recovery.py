@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Related work: hybrid single-failure recovery for XOR array codes.
+
+Section II of the paper contrasts CAR with the earlier line of work
+that minimises *disk I/O within a stripe* for XOR-based array codes
+(Xiang et al. for RDP, Khan et al.'s enumeration, Zhu et al.'s greedy).
+This example reproduces that trade-off on RDP and X-Code:
+
+- conventional recovery (all row parity) vs the enumerated optimum vs
+  the greedy heuristic, in symbols read;
+- a byte-exact check that every hybrid choice really rebuilds the disk.
+
+It then makes the paper's point: minimising symbols *read* is not the
+same as minimising *cross-rack traffic* — the objective CAR targets.
+
+Run: ``python examples/xor_hybrid_recovery.py``
+"""
+
+import numpy as np
+
+from repro.erasure.xorcodes import (
+    RDPCode,
+    XCode,
+    conventional_reads,
+    enumerate_optimal,
+    greedy_hybrid,
+)
+
+
+def demo(code, label: str, failed_disk: int = 0) -> None:
+    rng = np.random.default_rng(42)
+    data = [
+        rng.integers(0, 256, 1024, dtype=np.uint8)
+        for _ in range(len(code.data_symbols()))
+    ]
+    stripe = code.make_stripe(data)
+    assert code.verify_stripe(stripe)
+
+    conv = conventional_reads(code, failed_disk)
+    opt = enumerate_optimal(code, failed_disk)
+    gre = greedy_hybrid(code, failed_disk)
+
+    print(f"{label}: recovering disk {failed_disk}")
+    print(f"  conventional reads : {conv.read_count} symbols")
+    print(
+        f"  enumerated optimum : {opt.read_count} symbols "
+        f"({1 - opt.read_count / conv.read_count:.0%} fewer I/Os)"
+    )
+    print(f"  greedy heuristic   : {gre.read_count} symbols")
+
+    # Byte-exact verification of the optimal hybrid choice.
+    broken = stripe.copy()
+    broken[:, failed_disk, :] = 0
+    fixed, reads = code.recover_disk(broken, failed_disk, choice=opt.choice)
+    assert np.array_equal(fixed, stripe)
+    assert reads == set(opt.reads)
+    print("  byte-exact recovery with the optimal choice: OK\n")
+
+
+def main() -> None:
+    demo(RDPCode(p=7), "RDP (p=7, RAID-6)")
+    demo(XCode(p=7), "X-Code (p=7, RAID-6)")
+    print(
+        "note: these schemes minimise symbols READ inside a stripe; in a\n"
+        "multi-rack CFS the scarce resource is cross-rack bandwidth, which\n"
+        "is what CAR minimises instead (see examples/quickstart.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file
+exists so the package installs in fully offline environments where the
+``wheel`` package (required for PEP 660 editable builds) is unavailable
+and pip falls back to ``setup.py develop``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "CAR: cross-rack-aware single failure recovery for erasure-coded "
+        "clustered file systems (reproduction of Shen, Shu, Lee - DSN 2016)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    entry_points={"console_scripts": ["repro-car = repro.cli:main"]},
+)

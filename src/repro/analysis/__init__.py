@@ -1,0 +1,22 @@
+"""Analytic companions: cut-set bounds and the repair-cost landscape."""
+
+from repro.analysis.bounds import (
+    TradeoffPoint,
+    cut_set_capacity,
+    is_feasible,
+    mbr_point,
+    msr_point,
+    tradeoff_curve,
+)
+from repro.analysis.landscape import LandscapeRow, repair_landscape
+
+__all__ = [
+    "TradeoffPoint",
+    "cut_set_capacity",
+    "is_feasible",
+    "mbr_point",
+    "msr_point",
+    "tradeoff_curve",
+    "LandscapeRow",
+    "repair_landscape",
+]

@@ -1,0 +1,117 @@
+"""Information-theoretic repair-bandwidth bounds (Dimakis et al. 2010).
+
+The cut-set bound on the storage/repair-bandwidth trade-off for an
+``(n, k, d)`` regenerating code storing a B-symbol file:
+
+    B <= sum_{i=0}^{k-1} min(alpha, (d - i) * beta)
+
+Its two corner points:
+
+- **MSR** (minimum storage): ``alpha = B / k``,
+  ``gamma = d * B / (k * (d - k + 1))``;
+- **MBR** (minimum bandwidth): ``gamma = alpha =
+  2 * d * B / (k * (2 * d - k + 1))``.
+
+These give the yardsticks the analysis bench compares CAR against: an
+RS code repairs at ``gamma = B`` (fetch k chunks of size B/k), MSR at
+``~2 B / k`` for ``d = 2k - 2``, and CAR reduces not total traffic but
+the *cross-rack* component of RS's ``gamma``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "TradeoffPoint",
+    "msr_point",
+    "mbr_point",
+    "cut_set_capacity",
+    "is_feasible",
+    "tradeoff_curve",
+]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point on the storage/repair-bandwidth trade-off.
+
+    Attributes:
+        alpha: per-node storage (symbols).
+        gamma: per-repair download (symbols) — ``d * beta``.
+        label: name of the operating point.
+    """
+
+    alpha: float
+    gamma: float
+    label: str = ""
+
+
+def _validate(n: int, k: int, d: int) -> None:
+    if not 1 <= k <= n - 1:
+        raise ConfigurationError(f"need 1 <= k <= n-1, got k={k}, n={n}")
+    if not k <= d <= n - 1:
+        raise ConfigurationError(f"need k <= d <= n-1, got d={d}")
+
+
+def msr_point(file_size: float, n: int, k: int, d: int) -> TradeoffPoint:
+    """The minimum-storage regenerating point."""
+    _validate(n, k, d)
+    alpha = file_size / k
+    gamma = d * file_size / (k * (d - k + 1))
+    return TradeoffPoint(alpha=alpha, gamma=gamma, label="MSR")
+
+
+def mbr_point(file_size: float, n: int, k: int, d: int) -> TradeoffPoint:
+    """The minimum-bandwidth regenerating point (alpha == gamma)."""
+    _validate(n, k, d)
+    gamma = 2.0 * d * file_size / (k * (2 * d - k + 1))
+    return TradeoffPoint(alpha=gamma, gamma=gamma, label="MBR")
+
+
+def cut_set_capacity(alpha: float, beta: float, k: int, d: int) -> float:
+    """Max file size storable with per-node storage ``alpha`` and
+    per-helper transfer ``beta`` (the cut-set bound's right side)."""
+    if alpha < 0 or beta < 0:
+        raise ConfigurationError("alpha and beta must be non-negative")
+    return sum(min(alpha, (d - i) * beta) for i in range(k))
+
+
+def is_feasible(
+    file_size: float, alpha: float, gamma: float, k: int, d: int
+) -> bool:
+    """True iff (alpha, gamma) can store a ``file_size`` file."""
+    if d <= 0:
+        raise ConfigurationError("d must be positive")
+    beta = gamma / d
+    return cut_set_capacity(alpha, beta, k, d) >= file_size - 1e-9
+
+
+def tradeoff_curve(
+    file_size: float, n: int, k: int, d: int, points: int = 10
+) -> list[TradeoffPoint]:
+    """Sample the optimal trade-off between the MSR and MBR corners.
+
+    For each alpha between the two corner values, the minimal feasible
+    gamma is found by binary search on the cut-set bound — the classic
+    staircase curve of the Dimakis et al. paper.
+    """
+    if points < 2:
+        raise ConfigurationError("need at least 2 points")
+    msr = msr_point(file_size, n, k, d)
+    mbr = mbr_point(file_size, n, k, d)
+    out = []
+    for i in range(points):
+        t = i / (points - 1)
+        alpha = msr.alpha + t * (mbr.alpha - msr.alpha)
+        lo, hi = 0.0, max(msr.gamma, mbr.gamma) * 2 + 1
+        for _ in range(60):
+            mid = (lo + hi) / 2
+            if is_feasible(file_size, alpha, mid, k, d):
+                hi = mid
+            else:
+                lo = mid
+        out.append(TradeoffPoint(alpha=alpha, gamma=hi, label=f"t={t:.2f}"))
+    return out

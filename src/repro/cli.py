@@ -1,0 +1,280 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Examples::
+
+    repro-car fig7                 # cross-rack traffic (Figure 7)
+    repro-car fig8 --runs 10       # load balancing (Figure 8), 10 runs
+    repro-car fig9 --runs 3        # recovery time (Figure 9)
+    repro-car fig10                # time breakdown (Figure 10)
+    repro-car ablation             # traffic decomposition + sweeps
+    repro-car all --runs 5         # everything, fast settings
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments import (
+    ALL_CFS,
+    CFS1,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_greedy_vs_optimal,
+    run_oversubscription_sweep,
+    run_traffic_ablation,
+)
+from repro.experiments.report import (
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_fig10,
+    render_greedy_vs_optimal,
+    render_oversubscription,
+    render_traffic_ablation,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-car",
+        description=(
+            "Reproduce the evaluation of 'Reconsidering Single Failure "
+            "Recovery in Clustered File Systems' (DSN 2016)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "fig7", "fig8", "fig9", "fig10", "ablation", "landscape",
+            "longrun", "degraded", "all",
+        ],
+        help="which figure/experiment to regenerate",
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=None,
+        help="runs to average (defaults per experiment; the paper uses 50)",
+    )
+    parser.add_argument(
+        "--stripes",
+        type=int,
+        default=None,
+        help="stripes per run (paper: 100)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the base RNG seed"
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        default=False,
+        help="append ASCII charts of the series to the tables",
+    )
+    return parser
+
+
+def _kwargs(args: argparse.Namespace, default_runs: int) -> dict:
+    kwargs: dict = {"runs": args.runs if args.runs is not None else default_runs}
+    if args.stripes is not None:
+        kwargs["num_stripes"] = args.stripes
+    if args.seed is not None:
+        kwargs["base_seed"] = args.seed
+    return kwargs
+
+
+def _maybe_plot(args, results, title, series_of, y_label):
+    if not args.plot:
+        return ""
+    from repro.experiments.plots import series_chart
+
+    charts = [
+        series_chart(f"{title} — {res.config.name}", series_of(res), y_label)
+        for res in results
+    ]
+    return "\n\n" + "\n\n".join(charts)
+
+
+def _run_fig7(args: argparse.Namespace) -> str:
+    results = run_fig7(**_kwargs(args, default_runs=50))
+    return render_fig7(results) + _maybe_plot(
+        args,
+        results,
+        "Figure 7: cross-rack traffic (MB) vs chunk size (MB)",
+        lambda r: list(r.series.values()),
+        "MB",
+    )
+
+
+def _run_fig8(args: argparse.Namespace) -> str:
+    results = run_fig8(**_kwargs(args, default_runs=50))
+    return render_fig8(results) + _maybe_plot(
+        args,
+        results,
+        "Figure 8: lambda vs iterations",
+        lambda r: [r.balanced, r.unbalanced],
+        "lambda",
+    )
+
+
+def _run_fig9(args: argparse.Namespace) -> str:
+    results = run_fig9(**_kwargs(args, default_runs=3))
+    return render_fig9(results) + _maybe_plot(
+        args,
+        results,
+        "Figure 9: recovery time (s/chunk) vs chunk size (MB)",
+        lambda r: list(r.series.values()),
+        "s",
+    )
+
+
+def _run_fig10(args: argparse.Namespace) -> str:
+    return render_fig10(run_fig10(**_kwargs(args, default_runs=10)))
+
+
+def _run_landscape(args: argparse.Namespace) -> str:
+    from repro.analysis.landscape import repair_landscape
+    from repro.experiments import CFS2
+    from repro.experiments.report import format_table
+
+    runs = args.runs if args.runs is not None else 5
+    stripes = args.stripes if args.stripes is not None else 50
+    rows = repair_landscape(CFS2, runs=runs, num_stripes=stripes)
+    table = [
+        [
+            r.scheme,
+            f"{r.total_chunks:.2f}",
+            "-" if r.cross_rack_chunks is None else f"{r.cross_rack_chunks:.2f}",
+            f"{r.storage_overhead:.2f}x",
+        ]
+        for r in rows
+    ]
+    return (
+        "Repair cost per lost chunk (chunk units), CFS2\n"
+        + format_table(["scheme", "total", "cross-rack", "storage"], table)
+    )
+
+
+def _run_degraded(args: argparse.Namespace) -> str:
+    from repro.experiments import ALL_CFS
+    from repro.experiments.degraded import run_degraded_read
+    from repro.experiments.report import format_table
+
+    runs = args.runs if args.runs is not None else 5
+    stripes = args.stripes if args.stripes is not None else 50
+    rows = []
+    for cfg in ALL_CFS:
+        res = run_degraded_read(cfg, runs=runs, num_stripes=stripes)
+        for name in ("CAR", "RR"):
+            d = res.distributions[name]
+            rows.append(
+                [
+                    cfg.name,
+                    name,
+                    f"{d.mean * 1000:.0f}ms",
+                    f"{d.p99 * 1000:.0f}ms",
+                    f"{d.worst * 1000:.0f}ms",
+                ]
+            )
+    return (
+        "Degraded-read latency per lost-chunk request (4MB chunks)\n"
+        + format_table(["CFS", "strategy", "mean", "p99", "max"], rows)
+    )
+
+
+def _run_longrun(args: argparse.Namespace) -> str:
+    from repro.experiments import CFS2
+    from repro.experiments.configs import build_state
+    from repro.experiments.report import format_table
+    from repro.recovery import CarStrategy, RandomRecoveryStrategy
+    from repro.workloads import FailureTraceGenerator, LongRunSimulator
+
+    stripes = args.stripes if args.stripes is not None else 100
+    seed = args.seed if args.seed is not None else 21
+    trace = FailureTraceGenerator(
+        num_nodes=CFS2.num_nodes, mtbf_hours=1500, seed=seed
+    ).generate(horizon_hours=24 * 90)
+    rows = []
+    for name, factory in (
+        ("RR", lambda h: RandomRecoveryStrategy(rng=seed)),
+        ("CAR", lambda h: CarStrategy()),
+        ("CAR-history", lambda h: CarStrategy(baseline_traffic=list(h))),
+    ):
+        sim = LongRunSimulator(
+            lambda: build_state(CFS2, seed=seed, num_stripes=stripes),
+            factory,
+            chunk_size=4 << 20,
+        )
+        rep = sim.replay(trace)
+        rows.append(
+            [
+                name,
+                rep.failures,
+                f"{rep.total_cross_rack_bytes / 2**30:.1f} GiB",
+                f"{rep.total_repair_hours * 60:.1f} min",
+                f"{rep.mean_lambda:.3f}",
+                f"{rep.long_run_lambda():.3f}",
+            ]
+        )
+    return (
+        f"90-day failure trace on CFS2 ({len(trace)} failures)\n"
+        + format_table(
+            ["strategy", "repairs", "cross-rack", "repair time",
+             "event lambda", "long-run lambda"],
+            rows,
+        )
+    )
+
+
+def _run_ablation(args: argparse.Namespace) -> str:
+    runs = args.runs if args.runs is not None else 10
+    parts = [
+        render_traffic_ablation(
+            [run_traffic_ablation(cfg, runs=runs) for cfg in ALL_CFS]
+        ),
+        render_oversubscription(
+            CFS1.name, run_oversubscription_sweep(CFS1)
+        ),
+        render_greedy_vs_optimal(
+            [run_greedy_vs_optimal(cfg, runs=max(3, runs // 2)) for cfg in ALL_CFS]
+        ),
+    ]
+    return "\n\n".join(parts)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "fig7": _run_fig7,
+        "fig8": _run_fig8,
+        "fig9": _run_fig9,
+        "fig10": _run_fig10,
+        "ablation": _run_ablation,
+        "landscape": _run_landscape,
+        "longrun": _run_longrun,
+        "degraded": _run_degraded,
+    }
+    if args.experiment == "all":
+        outputs = [
+            handlers[name](args)
+            for name in (
+                "fig7", "fig8", "fig9", "fig10", "ablation", "landscape",
+                "longrun", "degraded",
+            )
+        ]
+        print("\n\n".join(outputs))
+    else:
+        print(handlers[args.experiment](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

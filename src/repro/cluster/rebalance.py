@@ -1,0 +1,193 @@
+"""Storage rebalancing after cluster expansion.
+
+When operators add a node, existing chunks must migrate onto it or the
+new capacity sits idle and the old nodes stay hot.  The
+:class:`Rebalancer` computes a migration plan that evens out per-node
+chunk counts while honouring the same constraints as placement:
+
+- at most one chunk of a stripe per node;
+- at most ``m`` chunks of a stripe per rack (rack fault tolerance);
+- **intra-rack moves preferred** — the CAR theme again: a migration
+  inside a rack costs cheap ToR bandwidth, a cross-rack migration
+  crosses the over-subscribed core, so the planner exhausts same-rack
+  donor/receiver pairs before reaching across racks.
+
+Each move strictly shrinks the donor-receiver load gap, so the greedy
+loop terminates; :meth:`Rebalancer.apply` materialises the resulting
+:class:`~repro.cluster.placement.Placement` (re-validated from
+scratch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.placement import ChunkKey, Placement
+from repro.cluster.topology import ClusterTopology
+from repro.errors import ClusterError
+
+__all__ = ["Migration", "MigrationPlan", "Rebalancer"]
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One chunk move.
+
+    Attributes:
+        stripe_id / chunk_index: the chunk being moved.
+        src_node / dst_node: endpoints.
+        cross_rack: whether the move crosses the core.
+    """
+
+    stripe_id: int
+    chunk_index: int
+    src_node: int
+    dst_node: int
+    cross_rack: bool
+
+
+@dataclass
+class MigrationPlan:
+    """An ordered list of migrations plus summary counters."""
+
+    moves: list[Migration] = field(default_factory=list)
+
+    @property
+    def total_moves(self) -> int:
+        """Chunks migrated."""
+        return len(self.moves)
+
+    @property
+    def cross_rack_moves(self) -> int:
+        """Migrations crossing the over-subscribed core."""
+        return sum(1 for m in self.moves if m.cross_rack)
+
+    @property
+    def intra_rack_moves(self) -> int:
+        """Migrations staying behind one ToR."""
+        return self.total_moves - self.cross_rack_moves
+
+
+class Rebalancer:
+    """Plans storage rebalancing over a (possibly just-grown) topology.
+
+    Args:
+        topology: the cluster *after* any expansion.
+        tolerance: permitted max-min load spread after rebalancing
+            (1 means as even as integers allow).
+    """
+
+    def __init__(self, topology: ClusterTopology, tolerance: int = 1) -> None:
+        if tolerance < 1:
+            raise ClusterError("tolerance must be >= 1")
+        self.topology = topology
+        self.tolerance = tolerance
+
+    def plan(self, placement: Placement) -> MigrationPlan:
+        """Compute migrations that even out per-node chunk counts.
+
+        The placement may be keyed on a smaller topology (before an
+        expansion) as long as all its node ids exist here.
+        """
+        topo = self.topology
+        assignment: dict[ChunkKey, int] = dict(placement.iter_chunks())
+        load = {n.node_id: 0 for n in topo.nodes}
+        holders: dict[tuple[int, int], set[int]] = {}
+        rack_count: dict[tuple[int, int], int] = {}
+        for (stripe, chunk), node in assignment.items():
+            load[node] += 1
+            holders.setdefault(("s", stripe), set()).add(node)
+            key = (stripe, topo.rack_of(node))
+            rack_count[key] = rack_count.get(key, 0) + 1
+        m = placement.m
+        plan = MigrationPlan()
+
+        for _ in range(len(assignment) + 1):
+            donor = max(load, key=lambda n: (load[n], n))
+            receiver = min(load, key=lambda n: (load[n], n))
+            if load[donor] - load[receiver] <= self.tolerance:
+                break
+            move = self._find_move(
+                assignment, topo, load, holders, rack_count, m
+            )
+            if move is None:
+                break
+            plan.moves.append(move)
+            self._apply_move(move, assignment, topo, load, holders, rack_count)
+        return plan
+
+    def _find_move(self, assignment, topo, load, holders, rack_count, m):
+        mean = sum(load.values()) / len(load)
+        donors = sorted(
+            (n for n in load if load[n] > mean),
+            key=lambda n: (-load[n], n),
+        )
+        receivers = sorted(
+            (n for n in load if load[n] < mean),
+            key=lambda n: (load[n], n),
+        )
+        # Two passes: same-rack pairs first, then cross-rack.
+        for cross in (False, True):
+            for donor in donors:
+                for receiver in receivers:
+                    if load[donor] - load[receiver] <= self.tolerance:
+                        continue
+                    is_cross = topo.rack_of(donor) != topo.rack_of(receiver)
+                    if is_cross != cross:
+                        continue
+                    chunk = self._movable_chunk(
+                        assignment, topo, donor, receiver, holders,
+                        rack_count, m,
+                    )
+                    if chunk is not None:
+                        stripe, idx = chunk
+                        return Migration(
+                            stripe_id=stripe,
+                            chunk_index=idx,
+                            src_node=donor,
+                            dst_node=receiver,
+                            cross_rack=is_cross,
+                        )
+        return None
+
+    def _movable_chunk(
+        self, assignment, topo, donor, receiver, holders, rack_count, m
+    ):
+        recv_rack = topo.rack_of(receiver)
+        for (stripe, chunk), node in assignment.items():
+            if node != donor:
+                continue
+            if receiver in holders[("s", stripe)]:
+                continue  # one chunk per node per stripe
+            if topo.rack_of(donor) != recv_rack:
+                if rack_count.get((stripe, recv_rack), 0) >= m:
+                    continue  # would break rack fault tolerance
+            return (stripe, chunk)
+        return None
+
+    def _apply_move(self, move, assignment, topo, load, holders, rack_count):
+        key = (move.stripe_id, move.chunk_index)
+        assignment[key] = move.dst_node
+        load[move.src_node] -= 1
+        load[move.dst_node] += 1
+        holders[("s", move.stripe_id)].discard(move.src_node)
+        holders[("s", move.stripe_id)].add(move.dst_node)
+        src_rack = topo.rack_of(move.src_node)
+        dst_rack = topo.rack_of(move.dst_node)
+        if src_rack != dst_rack:
+            rack_count[(move.stripe_id, src_rack)] -= 1
+            rack_count[(move.stripe_id, dst_rack)] = (
+                rack_count.get((move.stripe_id, dst_rack), 0) + 1
+            )
+
+    def apply(self, placement: Placement, plan: MigrationPlan) -> Placement:
+        """The placement after executing ``plan`` (fully re-validated)."""
+        assignment = dict(placement.iter_chunks())
+        for move in plan.moves:
+            key = (move.stripe_id, move.chunk_index)
+            if assignment.get(key) != move.src_node:
+                raise ClusterError(
+                    f"plan is stale: chunk {key} is not on node {move.src_node}"
+                )
+            assignment[key] = move.dst_node
+        return Placement(self.topology, placement.k, placement.m, assignment)

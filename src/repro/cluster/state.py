@@ -1,0 +1,297 @@
+"""Mutable cluster state: placed stripes, chunk data, and failures.
+
+:class:`ClusterState` ties together a topology, an erasure code, and a
+:class:`~repro.cluster.placement.Placement`, tracks which nodes are
+failed, and answers the layout queries the CAR selector needs (the
+``c_{i,j}`` and ``c'_{f,j}`` counters of Section IV-B).
+
+:class:`DataStore` optionally materialises real chunk bytes so recovery
+plans can be *executed* and verified byte-for-byte, not just counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import (
+    NoFailureError,
+    PlacementError,
+    UnknownChunkError,
+    UnknownNodeError,
+)
+from repro.cluster.placement import ChunkKey, Placement
+from repro.cluster.topology import ClusterTopology
+from repro.erasure.code import ErasureCode
+from repro.gf.field import gf
+from repro.gf.vector import buffer_dtype
+
+__all__ = ["DataStore", "FailureEvent", "StripeView", "ClusterState"]
+
+
+class DataStore:
+    """Holds the actual bytes of every chunk of every stripe.
+
+    Data chunks are filled from a seeded RNG (deterministic per stripe),
+    parity chunks are encoded with the stripe's code — so any
+    reconstruction can be checked against ground truth.
+    """
+
+    def __init__(
+        self, code: ErasureCode, num_stripes: int, chunk_size: int, seed: int = 0
+    ) -> None:
+        self.code = code
+        self.chunk_size = chunk_size
+        self.num_stripes = num_stripes
+        dtype = buffer_dtype(gf(code.w))
+        rng = np.random.default_rng(seed)
+        self._chunks: dict[ChunkKey, np.ndarray] = {}
+        high = int(np.iinfo(dtype).max) + 1
+        elements = chunk_size if dtype == np.uint8 else chunk_size // 2
+        for stripe in range(num_stripes):
+            data = [
+                rng.integers(0, high, elements, dtype=dtype)
+                for _ in range(code.k)
+            ]
+            for idx, buf in enumerate(code.encode_stripe(data)):
+                self._chunks[(stripe, idx)] = buf
+
+    @classmethod
+    def empty(cls, code: ErasureCode, chunk_size: int) -> "DataStore":
+        """A store with no stripes yet (filled via :meth:`add_stripe`)."""
+        return cls(code, num_stripes=0, chunk_size=chunk_size)
+
+    def add_stripe(self, stripe_id: int, chunks: list[np.ndarray]) -> None:
+        """Register the full chunk set of a new stripe.
+
+        Raises:
+            UnknownChunkError: if the stripe id is not the next dense id
+                or the chunk set is malformed.
+        """
+        if stripe_id != self.num_stripes:
+            raise UnknownChunkError(
+                f"stripe ids must be dense; expected {self.num_stripes}, "
+                f"got {stripe_id}"
+            )
+        if len(chunks) != self.code.k + self.code.m:
+            raise UnknownChunkError(
+                f"stripe needs {self.code.k + self.code.m} chunks, "
+                f"got {len(chunks)}"
+            )
+        for buf in chunks:
+            if buf.nbytes != self.chunk_size:
+                raise UnknownChunkError(
+                    f"chunk is {buf.nbytes} bytes, store uses {self.chunk_size}"
+                )
+        for idx, buf in enumerate(chunks):
+            self._chunks[(stripe_id, idx)] = buf.copy()
+        self.num_stripes += 1
+
+    def chunk(self, stripe_id: int, chunk_index: int) -> np.ndarray:
+        """The stored buffer for one chunk.
+
+        Raises:
+            UnknownChunkError: if the chunk does not exist.
+        """
+        try:
+            return self._chunks[(stripe_id, chunk_index)]
+        except KeyError:
+            raise UnknownChunkError((stripe_id, chunk_index)) from None
+
+    def matches(self, stripe_id: int, chunk_index: int, buf: np.ndarray) -> bool:
+        """True iff ``buf`` equals the ground-truth chunk byte-for-byte."""
+        return bool(np.array_equal(self.chunk(stripe_id, chunk_index), buf))
+
+    def overwrite(self, stripe_id: int, chunk_index: int, buf: np.ndarray) -> None:
+        """Replace one stored chunk (used by scrubbing repair).
+
+        Raises:
+            UnknownChunkError: if the chunk does not exist.
+        """
+        current = self.chunk(stripe_id, chunk_index)
+        if buf.shape != current.shape or buf.dtype != current.dtype:
+            raise UnknownChunkError(
+                f"replacement buffer mismatch for stripe {stripe_id} "
+                f"chunk {chunk_index}"
+            )
+        self._chunks[(stripe_id, chunk_index)] = buf.copy()
+
+    def corrupt(
+        self, stripe_id: int, chunk_index: int, seed: int = 0
+    ) -> np.ndarray:
+        """Flip bytes of one chunk in place (silent-corruption injection).
+
+        Returns the pristine original so tests can compare.
+        """
+        original = self.chunk(stripe_id, chunk_index).copy()
+        rng = np.random.default_rng(seed)
+        corrupted = original.copy()
+        pos = int(rng.integers(0, corrupted.size))
+        # XOR with a nonzero mask guarantees the value changes.
+        mask = corrupted.dtype.type(int(rng.integers(1, 255)))
+        corrupted[pos] ^= mask
+        self._chunks[(stripe_id, chunk_index)] = corrupted
+        return original
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A single node failure and the chunks it destroyed.
+
+    Attributes:
+        failed_node: id of the failed node.
+        failed_rack: the paper's ``A_f``.
+        lost_chunks: the (stripe, chunk) keys stored on the node, in
+            stripe order; each stripe appears at most once (single
+            failure implies one lost chunk per stripe).
+        replacement_node: where reconstructed chunks are written; the
+            paper's methodology reuses the failed node's slot.
+    """
+
+    failed_node: int
+    failed_rack: int
+    lost_chunks: tuple[ChunkKey, ...]
+    replacement_node: int
+
+    @property
+    def stripes(self) -> tuple[int, ...]:
+        """Affected stripe ids (the paper's ``s`` stripes)."""
+        return tuple(s for s, _ in self.lost_chunks)
+
+    @property
+    def num_stripes(self) -> int:
+        """Number of stripes needing repair."""
+        return len(self.lost_chunks)
+
+
+@dataclass(frozen=True)
+class StripeView:
+    """Everything the per-stripe solver needs to know about one stripe.
+
+    Attributes:
+        stripe_id: which stripe.
+        lost_chunk: index of the lost chunk within the stripe.
+        surviving: chunk_index -> node_id for every surviving chunk.
+        rack_counts: surviving-chunk count per rack — ``c'_{f,j}`` at the
+            failed rack and ``c_{i,j}`` elsewhere (Equation 1).
+        failed_rack: the paper's ``A_f``.
+    """
+
+    stripe_id: int
+    lost_chunk: int
+    surviving: dict[int, int]
+    rack_counts: tuple[int, ...]
+    failed_rack: int
+
+    def chunks_in_rack(self, rack_id: int, topology: ClusterTopology) -> list[int]:
+        """Surviving chunk indices of this stripe stored in ``rack_id``."""
+        return [
+            c
+            for c, nid in sorted(self.surviving.items())
+            if topology.rack_of(nid) == rack_id
+        ]
+
+
+class ClusterState:
+    """A CFS with placed stripes, optional data, and at most one failure.
+
+    The paper's recovery problem is *single* failure: each stripe loses
+    at most one chunk.  ``fail_node`` enforces that by allowing one
+    failed node at a time; :meth:`heal` clears it.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        code: ErasureCode,
+        placement: Placement,
+        data: DataStore | None = None,
+    ) -> None:
+        if placement.topology is not topology:
+            raise PlacementError("placement was built for a different topology")
+        if (placement.k, placement.m) != (code.k, code.m):
+            raise PlacementError(
+                f"placement is for (k={placement.k}, m={placement.m}) but the "
+                f"code is (k={code.k}, m={code.m})"
+            )
+        if data is not None and data.num_stripes < placement.num_stripes:
+            raise PlacementError(
+                "data store has fewer stripes than the placement"
+            )
+        self.topology = topology
+        self.code = code
+        self.placement = placement
+        self.data = data
+        self.failed_node: int | None = None
+
+    # -- failure handling ----------------------------------------------------
+
+    def fail_node(self, node_id: int) -> FailureEvent:
+        """Mark ``node_id`` failed and return the resulting event.
+
+        Raises:
+            UnknownNodeError: if the node does not exist.
+            NoFailureError: if another node is already failed (the model
+                is single-failure; heal first).
+        """
+        self.topology.node(node_id)  # validates
+        if self.failed_node is not None and self.failed_node != node_id:
+            raise NoFailureError(
+                f"node {self.failed_node} is already failed; heal() first"
+            )
+        self.failed_node = node_id
+        lost = self.placement.chunks_on_node(node_id)
+        return FailureEvent(
+            failed_node=node_id,
+            failed_rack=self.topology.rack_of(node_id),
+            lost_chunks=tuple(sorted(lost)),
+            replacement_node=node_id,
+        )
+
+    def heal(self) -> None:
+        """Clear the failure (the node is repaired/replaced in place)."""
+        self.failed_node = None
+
+    # -- layout queries --------------------------------------------------------
+
+    def stripe_view(self, stripe_id: int) -> StripeView:
+        """Build the solver's view of one affected stripe.
+
+        Raises:
+            NoFailureError: if no node is failed.
+            UnknownChunkError: if the stripe lost no chunk (it does not
+                need recovery).
+        """
+        if self.failed_node is None:
+            raise NoFailureError("no failed node")
+        layout = self.placement.stripe_layout(stripe_id)
+        lost = [c for c, nid in layout.items() if nid == self.failed_node]
+        if not lost:
+            raise UnknownChunkError(
+                f"stripe {stripe_id} has no chunk on node {self.failed_node}"
+            )
+        lost_chunk = lost[0]
+        surviving = {c: nid for c, nid in layout.items() if c != lost_chunk}
+        counts = [0] * self.topology.num_racks
+        for nid in surviving.values():
+            counts[self.topology.rack_of(nid)] += 1
+        return StripeView(
+            stripe_id=stripe_id,
+            lost_chunk=lost_chunk,
+            surviving=surviving,
+            rack_counts=tuple(counts),
+            failed_rack=self.topology.rack_of(self.failed_node),
+        )
+
+    def affected_stripes(self) -> tuple[int, ...]:
+        """Stripes that lost a chunk to the current failure."""
+        if self.failed_node is None:
+            raise NoFailureError("no failed node")
+        return tuple(
+            sorted({s for s, _ in self.placement.chunks_on_node(self.failed_node)})
+        )
+
+    def views(self) -> list[StripeView]:
+        """StripeView for every affected stripe, in stripe order."""
+        return [self.stripe_view(s) for s in self.affected_stripes()]

@@ -1,0 +1,211 @@
+"""Replication-to-erasure-coding transition (Li, Hu, Lee — DSN 2015).
+
+Reference [18] of the paper: production CFSes land data triple-
+replicated for write/read performance, then *encode* cold data into RS
+stripes to reclaim capacity.  The transition itself moves bulk data,
+and — the same insight CAR applies to recovery — what matters is how
+much of that movement crosses racks:
+
+- ``k`` blocks are grouped into a stripe and an **encoder node** reads
+  one replica of each block, computes the ``m`` parities, and
+  distributes them;
+- a block with a replica in the encoder's rack is fetched intra-rack
+  (free in this model); every other block costs one cross-rack chunk;
+- each parity chunk placed outside the encoder's rack costs another;
+- finally the surplus replicas are deleted (no network cost).
+
+:class:`RackAwareTransition` picks, per stripe, the encoder rack with
+the most local replicas (and places parities respecting the ``m``
+cap), versus :class:`RandomTransition` which picks blindly — the
+ablation the cited paper's evaluation is built around.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.cluster.topology import ClusterTopology
+from repro.errors import ClusterError, ConfigurationError
+
+__all__ = [
+    "ReplicatedBlock",
+    "ReplicatedStore",
+    "TransitionPlan",
+    "RandomTransition",
+    "RackAwareTransition",
+]
+
+
+@dataclass(frozen=True)
+class ReplicatedBlock:
+    """One replicated block.
+
+    Attributes:
+        block_id: dense id.
+        replica_nodes: nodes holding a copy (distinct racks by policy).
+    """
+
+    block_id: int
+    replica_nodes: tuple[int, ...]
+
+    @property
+    def replication(self) -> int:
+        """Number of copies."""
+        return len(self.replica_nodes)
+
+
+class ReplicatedStore:
+    """A replica-placed block population (the pre-transition state).
+
+    Args:
+        topology: the cluster.
+        num_blocks: blocks to place.
+        replication: copies per block (default 3, HDFS-style).
+        rng: seed/Random for placement.
+
+    Placement puts each block's replicas on distinct nodes in distinct
+    racks (rack-level fault tolerance for replicas), like HDFS's
+    default policy.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        num_blocks: int,
+        replication: int = 3,
+        rng: random.Random | int | None = None,
+    ) -> None:
+        if isinstance(rng, int):
+            rng = random.Random(rng)
+        self.rng = rng or random.Random()
+        if replication < 1:
+            raise ConfigurationError("replication must be >= 1")
+        if replication > topology.num_racks:
+            raise ConfigurationError(
+                f"replication {replication} exceeds {topology.num_racks} racks"
+            )
+        self.topology = topology
+        self.replication = replication
+        self.blocks: list[ReplicatedBlock] = []
+        for block_id in range(num_blocks):
+            racks = self.rng.sample(range(topology.num_racks), replication)
+            nodes = tuple(
+                self.rng.choice(topology.nodes_in_rack(r)) for r in racks
+            )
+            self.blocks.append(
+                ReplicatedBlock(block_id=block_id, replica_nodes=nodes)
+            )
+
+    def replica_racks(self, block: ReplicatedBlock) -> set[int]:
+        """Racks holding a copy of ``block``."""
+        return {self.topology.rack_of(n) for n in block.replica_nodes}
+
+
+@dataclass
+class TransitionPlan:
+    """Accounting for one full transition run.
+
+    Attributes:
+        stripes: number of stripes encoded.
+        cross_rack_block_fetches: blocks fetched across racks.
+        cross_rack_parity_sends: parity chunks shipped across racks.
+        storage_reclaimed_chunks: replica chunks deleted minus parity
+            chunks created (the transition's whole point).
+    """
+
+    stripes: int = 0
+    cross_rack_block_fetches: int = 0
+    cross_rack_parity_sends: int = 0
+    storage_reclaimed_chunks: int = 0
+    encoder_racks: list[int] = field(default_factory=list)
+
+    @property
+    def total_cross_rack_chunks(self) -> int:
+        """Total cross-rack transition traffic, chunk units."""
+        return self.cross_rack_block_fetches + self.cross_rack_parity_sends
+
+
+class _TransitionBase:
+    """Shared encoding loop; subclasses pick the encoder rack."""
+
+    def __init__(self, k: int, m: int) -> None:
+        if k < 1 or m < 1:
+            raise ConfigurationError("k and m must be >= 1")
+        self.k = k
+        self.m = m
+
+    def _encoder_rack(
+        self, store: ReplicatedStore, group: Sequence[ReplicatedBlock]
+    ) -> int:
+        raise NotImplementedError
+
+    def plan(self, store: ReplicatedStore) -> TransitionPlan:
+        """Encode the store's blocks in groups of ``k``.
+
+        Blocks are grouped in id order (the cited paper groups by file);
+        a trailing group smaller than ``k`` is left replicated.
+        """
+        topo = store.topology
+        if self.m > topo.num_racks - 1:
+            raise ClusterError(
+                f"m={self.m} parities cannot spread over "
+                f"{topo.num_racks - 1} other racks at cap 1 each"
+            )
+        plan = TransitionPlan()
+        blocks = store.blocks
+        for start in range(0, len(blocks) - self.k + 1, self.k):
+            group = blocks[start : start + self.k]
+            encoder_rack = self._encoder_rack(store, group)
+            local = sum(
+                1
+                for b in group
+                if encoder_rack in store.replica_racks(b)
+            )
+            plan.stripes += 1
+            plan.encoder_racks.append(encoder_rack)
+            plan.cross_rack_block_fetches += self.k - local
+            # Parities spread over other racks (rack cap: the data
+            # copies kept in the encoder's rack count toward its cap).
+            plan.cross_rack_parity_sends += self.m
+            # Storage: k blocks shrink from `replication` copies to one
+            # copy + their share of m parities.
+            plan.storage_reclaimed_chunks += (
+                self.k * (store.replication - 1) - self.m
+            )
+        return plan
+
+
+class RandomTransition(_TransitionBase):
+    """Baseline: encode at a uniformly random rack (placement-blind)."""
+
+    def __init__(
+        self, k: int, m: int, rng: random.Random | int | None = None
+    ) -> None:
+        super().__init__(k, m)
+        if isinstance(rng, int):
+            rng = random.Random(rng)
+        self.rng = rng or random.Random()
+
+    def _encoder_rack(self, store, group):
+        return self.rng.randrange(store.topology.num_racks)
+
+
+class RackAwareTransition(_TransitionBase):
+    """The cited paper's idea: encode where the most replicas already are.
+
+    For each stripe, choose the rack holding replicas of the largest
+    number of the group's blocks; every such block is fetched intra-rack
+    for free.
+    """
+
+    def _encoder_rack(self, store, group):
+        best_rack, best_local = 0, -1
+        for rack in range(store.topology.num_racks):
+            local = sum(
+                1 for b in group if rack in store.replica_racks(b)
+            )
+            if local > best_local:
+                best_rack, best_local = rack, local
+        return best_rack

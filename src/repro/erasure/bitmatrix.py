@@ -1,0 +1,193 @@
+"""Cauchy Reed-Solomon bit-matrix coding (CRS) — XOR-only encoding.
+
+Jerasure (the library the paper's testbed uses) implements RS coding in
+two ways: table-lookup GF multiplication, and *bit-matrix* coding
+(Blömer et al.'s CRS): expand every GF(2^w) coefficient into a ``w x w``
+binary matrix, view each chunk as ``w`` bit-packets, and compute parity
+with XORs alone.  The two are algebraically identical; bit-matrix
+encoding trades multiplications for a (schedulable) XOR sequence.
+
+This module provides:
+
+- :func:`gf_bitmatrix` — the ``w x w`` GF(2) matrix of "multiply by a";
+- :func:`chunk_to_bitpackets` / :func:`bitpackets_to_chunk` — the
+  bit-striped chunk view;
+- :class:`BitmatrixEncoder` — XOR-only encode equivalent (bit-for-bit)
+  to :class:`~repro.erasure.rs.RSCode` with the Cauchy construction,
+  plus a flattened XOR schedule and operation counting;
+- density optimisation à la Jerasure's *good* Cauchy matrices (row
+  scaling to minimise the number of ones, hence XORs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CodingError
+from repro.erasure.rs import RSCode
+from repro.gf.field import GaloisField, gf
+
+__all__ = [
+    "gf_bitmatrix",
+    "chunk_to_bitpackets",
+    "bitpackets_to_chunk",
+    "XorOp",
+    "BitmatrixEncoder",
+]
+
+
+def gf_bitmatrix(field: GaloisField, a: int) -> np.ndarray:
+    """The ``w x w`` GF(2) matrix of multiplication by ``a``.
+
+    Column ``j`` holds the bits of ``a * x^j`` (i.e. ``a * 2^j`` in the
+    field), so for a symbol with bit-vector ``v``, ``M @ v`` (mod 2) is
+    the bit-vector of ``a * symbol``.
+    """
+    field.check(a)
+    w = field.w
+    out = np.zeros((w, w), dtype=bool)
+    for j in range(w):
+        prod = field.mul(a, 1 << j)
+        for i in range(w):
+            out[i, j] = bool((prod >> i) & 1)
+    return out
+
+
+def chunk_to_bitpackets(field: GaloisField, chunk: np.ndarray) -> np.ndarray:
+    """Split a chunk into ``w`` bit-packets: ``packets[j][i]`` is bit
+    ``j`` of element ``i``.  Shape ``(w, len(chunk))``, dtype bool."""
+    w = field.w
+    shifts = np.arange(w, dtype=chunk.dtype.type)
+    return ((chunk[None, :] >> shifts[:, None]) & 1).astype(bool)
+
+
+def bitpackets_to_chunk(field: GaloisField, packets: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`chunk_to_bitpackets`."""
+    w = field.w
+    if packets.shape[0] != w:
+        raise CodingError(
+            f"expected {w} bit-packets, got {packets.shape[0]}"
+        )
+    dtype = field.tables.dtype
+    out = np.zeros(packets.shape[1], dtype=dtype)
+    for j in range(w):
+        out |= packets[j].astype(dtype) << dtype.type(j)
+    return out
+
+
+@dataclass(frozen=True)
+class XorOp:
+    """One scheduled XOR: parity packet += data packet.
+
+    Attributes:
+        src_chunk / src_packet: data-side operand coordinates.
+        dst_chunk / dst_packet: parity-side accumulation target.
+    """
+
+    src_chunk: int
+    src_packet: int
+    dst_chunk: int
+    dst_packet: int
+
+
+class BitmatrixEncoder:
+    """XOR-only encoder for a Cauchy RS code.
+
+    Args:
+        k / m / w: code parameters (the underlying GF matrix is the
+            Cauchy parity block of ``RSCode(k, m, w,
+            construction="cauchy")``, so outputs are bit-identical to
+            the table-lookup encoder).
+        optimize: scale each parity row by the inverse of its first
+            coefficient (Jerasure's *good* matrix trick), reducing ones
+            in the bit-matrix and therefore XORs.  The optimised code is
+            a different — still MDS — code; equivalence with
+            :class:`RSCode` holds only when ``optimize=False``.
+    """
+
+    def __init__(self, k: int, m: int, w: int = 8, optimize: bool = False) -> None:
+        self.k = k
+        self.m = m
+        self.w = w
+        self.optimize = optimize
+        self.field = gf(w)
+        self.rs = RSCode(k, m, w=w, construction="cauchy")
+        coeffs = self.rs.parity_rows.astype(np.int64).copy()
+        if optimize:
+            f = self.field
+            for row in range(m):
+                inv = f.inv(int(coeffs[row, 0]))
+                for col in range(k):
+                    coeffs[row, col] = f.mul(int(coeffs[row, col]), inv)
+        self.coefficients = coeffs
+        self.bitmatrix = self._expand(coeffs)
+        self._schedule: tuple[XorOp, ...] | None = None
+
+    def _expand(self, coeffs: np.ndarray) -> np.ndarray:
+        w = self.w
+        out = np.zeros((self.m * w, self.k * w), dtype=bool)
+        for i in range(self.m):
+            for j in range(self.k):
+                out[i * w : (i + 1) * w, j * w : (j + 1) * w] = gf_bitmatrix(
+                    self.field, int(coeffs[i, j])
+                )
+        return out
+
+    # -- schedule ---------------------------------------------------------
+
+    @property
+    def schedule(self) -> tuple[XorOp, ...]:
+        """The flattened XOR schedule (one op per one-bit)."""
+        if self._schedule is None:
+            ops = []
+            w = self.w
+            rows, cols = np.nonzero(self.bitmatrix)
+            for r, c in zip(rows.tolist(), cols.tolist()):
+                ops.append(
+                    XorOp(
+                        src_chunk=c // w,
+                        src_packet=c % w,
+                        dst_chunk=r // w,
+                        dst_packet=r % w,
+                    )
+                )
+            self._schedule = tuple(ops)
+        return self._schedule
+
+    def xor_count(self) -> int:
+        """Total XOR-of-packet operations per encode (ones in the matrix)."""
+        return int(self.bitmatrix.sum())
+
+    def density(self) -> float:
+        """Fraction of ones in the bit-matrix (lower = cheaper encode)."""
+        return self.xor_count() / self.bitmatrix.size
+
+    # -- encoding -----------------------------------------------------------
+
+    def encode(self, data_chunks: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Compute the ``m`` parity chunks with XORs only."""
+        if len(data_chunks) != self.k:
+            raise CodingError(
+                f"encode expects k={self.k} chunks, got {len(data_chunks)}"
+            )
+        packets = [
+            chunk_to_bitpackets(self.field, c) for c in data_chunks
+        ]
+        length = packets[0].shape[1]
+        parity = [
+            np.zeros((self.w, length), dtype=bool) for _ in range(self.m)
+        ]
+        for op in self.schedule:
+            np.logical_xor(
+                parity[op.dst_chunk][op.dst_packet],
+                packets[op.src_chunk][op.src_packet],
+                out=parity[op.dst_chunk][op.dst_packet],
+            )
+        return [bitpackets_to_chunk(self.field, p) for p in parity]
+
+    def encode_stripe(self, data_chunks: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Data chunks followed by XOR-computed parity."""
+        return list(data_chunks) + self.encode(data_chunks)

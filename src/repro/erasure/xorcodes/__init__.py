@@ -1,0 +1,34 @@
+"""XOR-based array codes (related-work substrate).
+
+RDP and X-Code plus the hybrid single-failure-recovery optimisers that
+the paper's related work (Xiang'10, Khan'12, Zhu'12) built for them.
+Used by the ablation benches to contrast intra-stripe I/O minimisation
+with CAR's cross-rack traffic minimisation.
+"""
+
+from repro.erasure.xorcodes.arraycode import ArrayCode, ParitySet, Symbol
+from repro.erasure.xorcodes.hybrid import (
+    HybridSolution,
+    balanced_split_rdp,
+    conventional_reads,
+    enumerate_optimal,
+    greedy_hybrid,
+    recovery_options,
+)
+from repro.erasure.xorcodes.rdp import RDPCode, is_prime
+from repro.erasure.xorcodes.xcode import XCode
+
+__all__ = [
+    "ArrayCode",
+    "ParitySet",
+    "Symbol",
+    "RDPCode",
+    "XCode",
+    "is_prime",
+    "HybridSolution",
+    "recovery_options",
+    "conventional_reads",
+    "enumerate_optimal",
+    "greedy_hybrid",
+    "balanced_split_rdp",
+]

@@ -1,0 +1,179 @@
+"""Base machinery for XOR-based array codes (RDP, X-Code).
+
+The paper's related-work section (II-B/II-C) contrasts CAR with
+single-failure recovery schemes built for XOR-based array codes.  We
+implement the two canonical RAID-6 array codes it cites — RDP (Corbett
+et al., FAST'04) and X-Code (Xu & Bruck, IT'99) — so the benchmark suite
+can situate CAR's RS-based recovery against the hybrid-recovery line of
+work (Xiang et al., SIGMETRICS'10; Khan et al., FAST'12).
+
+An array code stripe is a ``rows x disks`` array of equal-sized
+*symbols*; each disk (column) stores ``rows`` symbols.  Parity is
+computed with XOR only.  Symbols are numpy ``uint8`` buffers.
+
+A *parity set* is the fundamental recovery unit: a maximal set of symbol
+coordinates that XOR to zero.  Any one symbol of a parity set can be
+rebuilt by XORing the others.  Concrete codes enumerate their parity
+sets; generic erase/recover logic lives here.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CodingError, InsufficientChunksError
+
+__all__ = ["Symbol", "ParitySet", "ArrayCode"]
+
+#: Coordinate of a symbol within a stripe: (row, disk).
+Symbol = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ParitySet:
+    """A set of symbol coordinates whose XOR is zero.
+
+    Attributes:
+        kind: label of the parity family ("row", "diagonal", ...).
+        index: which parity group within the family.
+        symbols: the member coordinates.
+    """
+
+    kind: str
+    index: int
+    symbols: frozenset[Symbol]
+
+    def peers_of(self, symbol: Symbol) -> frozenset[Symbol]:
+        """The other members, i.e. what must be read to rebuild ``symbol``."""
+        if symbol not in self.symbols:
+            raise CodingError(f"{symbol} not in parity set {self.kind}#{self.index}")
+        return self.symbols - {symbol}
+
+
+class ArrayCode(abc.ABC):
+    """An XOR-based array code over a ``rows x disks`` symbol grid."""
+
+    #: Number of symbol rows per stripe.
+    rows: int
+    #: Number of disks (columns) per stripe.
+    disks: int
+
+    @abc.abstractmethod
+    def parity_sets(self) -> tuple[ParitySet, ...]:
+        """All parity sets of the code."""
+
+    @abc.abstractmethod
+    def data_symbols(self) -> tuple[Symbol, ...]:
+        """Coordinates holding user data, in canonical order."""
+
+    @abc.abstractmethod
+    def encode(self, stripe: np.ndarray) -> np.ndarray:
+        """Fill the parity symbols of ``stripe`` in place and return it.
+
+        ``stripe`` has shape ``(rows, disks, symbol_len)``.
+        """
+
+    # -- generic helpers -------------------------------------------------
+
+    def all_symbols(self) -> tuple[Symbol, ...]:
+        """Every coordinate in the grid."""
+        return tuple((r, d) for r in range(self.rows) for d in range(self.disks))
+
+    def parity_sets_containing(self, symbol: Symbol) -> tuple[ParitySet, ...]:
+        """Parity sets that include ``symbol`` (its recovery options)."""
+        return tuple(ps for ps in self.parity_sets() if symbol in ps.symbols)
+
+    def empty_stripe(self, symbol_len: int) -> np.ndarray:
+        """Zeroed stripe array of shape ``(rows, disks, symbol_len)``."""
+        return np.zeros((self.rows, self.disks, symbol_len), dtype=np.uint8)
+
+    def make_stripe(self, data: Sequence[np.ndarray]) -> np.ndarray:
+        """Build and encode a stripe from per-symbol data buffers.
+
+        Args:
+            data: one buffer per entry of :meth:`data_symbols`, in order.
+        """
+        symbols = self.data_symbols()
+        if len(data) != len(symbols):
+            raise CodingError(
+                f"expected {len(symbols)} data symbols, got {len(data)}"
+            )
+        lengths = {len(b) for b in data}
+        if len(lengths) != 1:
+            raise CodingError("data symbols must all have the same length")
+        stripe = self.empty_stripe(lengths.pop())
+        for (r, d), buf in zip(symbols, data):
+            stripe[r, d, :] = buf
+        return self.encode(stripe)
+
+    def verify_stripe(self, stripe: np.ndarray) -> bool:
+        """True iff every parity set of ``stripe`` XORs to zero."""
+        for ps in self.parity_sets():
+            acc = np.zeros(stripe.shape[2], dtype=np.uint8)
+            for r, d in ps.symbols:
+                np.bitwise_xor(acc, stripe[r, d], out=acc)
+            if acc.any():
+                return False
+        return True
+
+    def recover_disk(
+        self,
+        stripe: np.ndarray,
+        failed_disk: int,
+        choice: Mapping[Symbol, ParitySet] | None = None,
+    ) -> tuple[np.ndarray, set[Symbol]]:
+        """Rebuild every symbol of ``failed_disk``; return (stripe, reads).
+
+        Args:
+            stripe: the stripe with the failed column zeroed (its content
+                is ignored and overwritten).
+            failed_disk: column index to rebuild.
+            choice: optional map from each lost symbol to the parity set
+                used to rebuild it; defaults to the first available set.
+                This is the knob hybrid recovery optimises.
+
+        Returns:
+            The repaired stripe and the set of symbol coordinates read
+            from surviving disks (the I/O cost hybrid recovery minimises).
+
+        Raises:
+            InsufficientChunksError: if some lost symbol has no parity
+                set fully contained in the surviving symbols.
+        """
+        lost = [(r, failed_disk) for r in range(self.rows)]
+        lost_set = set(lost)
+        reads: set[Symbol] = set()
+        repaired = stripe.copy()
+        for sym in lost:
+            options = self.parity_sets_containing(sym)
+            if choice is not None and sym in choice:
+                ps = choice[sym]
+                if sym not in ps.symbols:
+                    raise CodingError(f"chosen parity set does not cover {sym}")
+            else:
+                usable = [
+                    p for p in options if not (p.symbols - {sym}) & lost_set
+                ]
+                if not usable:
+                    raise InsufficientChunksError(
+                        f"no usable parity set for symbol {sym}"
+                    )
+                ps = usable[0]
+            peers = ps.peers_of(sym)
+            if peers & lost_set:
+                raise InsufficientChunksError(
+                    f"parity set for {sym} references other lost symbols"
+                )
+            acc = np.zeros(stripe.shape[2], dtype=np.uint8)
+            for r, d in peers:
+                np.bitwise_xor(acc, repaired[r, d], out=acc)
+                reads.add((r, d))
+            repaired[sym[0], sym[1], :] = acc
+        return repaired, reads
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(rows={self.rows}, disks={self.disks})"

@@ -1,0 +1,103 @@
+"""RDP (Row-Diagonal Parity) code — Corbett et al., FAST 2004.
+
+RDP is the double-fault-tolerant array code the paper cites as the
+prototypical XOR-based code that prior single-failure-recovery work
+(Xiang et al., SIGMETRICS'10) optimises.  For a prime ``p`` the stripe
+is a ``(p-1) x (p+1)`` symbol array:
+
+- disks ``0 .. p-2``: data,
+- disk ``p-1``: row parity,
+- disk ``p``: diagonal parity.
+
+Row parity set ``i``: all symbols of row ``i`` on disks ``0..p-1``.
+Diagonal parity set ``d`` (``0 <= d <= p-2``): the symbols ``(i, j)``
+with ``(i + j) mod p == d`` over disks ``0..p-1`` plus the parity symbol
+``(d, p)``.  Diagonal ``p-1`` is the *missing diagonal* and has no
+parity set.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import InvalidCodeParametersError
+from repro.erasure.xorcodes.arraycode import ArrayCode, ParitySet, Symbol
+
+__all__ = ["RDPCode", "is_prime"]
+
+
+def is_prime(n: int) -> bool:
+    """Primality test for the small moduli used by array codes."""
+    if n < 2:
+        return False
+    if n % 2 == 0:
+        return n == 2
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+class RDPCode(ArrayCode):
+    """RDP over a prime ``p``: ``(k = p-1, m = 2)`` with XOR-only parity."""
+
+    def __init__(self, p: int) -> None:
+        if not is_prime(p) or p < 3:
+            raise InvalidCodeParametersError(f"RDP requires a prime p >= 3, got {p}")
+        self.p = p
+        self.rows = p - 1
+        self.disks = p + 1
+
+    @property
+    def k(self) -> int:
+        """Number of data disks."""
+        return self.p - 1
+
+    @property
+    def m(self) -> int:
+        """Number of parity disks (always 2)."""
+        return 2
+
+    @lru_cache(maxsize=None)
+    def parity_sets(self) -> tuple[ParitySet, ...]:
+        p = self.p
+        sets: list[ParitySet] = []
+        for i in range(p - 1):
+            members = frozenset((i, j) for j in range(p))
+            sets.append(ParitySet(kind="row", index=i, symbols=members))
+        for d in range(p - 1):
+            members = {
+                ((d - j) % p, j)
+                for j in range(p)
+                if (d - j) % p <= p - 2
+            }
+            members.add((d, p))
+            sets.append(ParitySet(kind="diagonal", index=d, symbols=frozenset(members)))
+        return tuple(sets)
+
+    def data_symbols(self) -> tuple[Symbol, ...]:
+        return tuple(
+            (r, d) for d in range(self.p - 1) for r in range(self.p - 1)
+        )
+
+    def encode(self, stripe: np.ndarray) -> np.ndarray:
+        p = self.p
+        # Row parity (disk p-1) over the data disks.
+        for i in range(p - 1):
+            acc = np.zeros(stripe.shape[2], dtype=np.uint8)
+            for j in range(p - 1):
+                np.bitwise_xor(acc, stripe[i, j], out=acc)
+            stripe[i, p - 1, :] = acc
+        # Diagonal parity (disk p) over disks 0..p-1 including row parity.
+        for d in range(p - 1):
+            acc = np.zeros(stripe.shape[2], dtype=np.uint8)
+            for j in range(p):
+                i = (d - j) % p
+                if i <= p - 2:
+                    np.bitwise_xor(acc, stripe[i, j], out=acc)
+            stripe[d, p, :] = acc
+        return stripe

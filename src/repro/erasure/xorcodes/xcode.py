@@ -1,0 +1,83 @@
+"""X-Code — Xu & Bruck, IEEE Trans. Information Theory 1999.
+
+X-Code is the other RAID-6 array code the paper's related work targets
+(Xu et al., ToC 2014 study its single-failure recovery).  For a prime
+``p`` the stripe is a ``p x p`` symbol array in which the first ``p-2``
+rows hold data and the last two rows hold parity computed along
+diagonals of slopes +1 and -1:
+
+- ``C[p-2, i] = XOR_j C[j, (i + j + 2) mod p]``  (diagonal parity)
+- ``C[p-1, i] = XOR_j C[j, (i - j - 2) mod p]``  (anti-diagonal parity)
+
+with ``j`` ranging over the data rows ``0 .. p-3``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import InvalidCodeParametersError
+from repro.erasure.xorcodes.arraycode import ArrayCode, ParitySet, Symbol
+from repro.erasure.xorcodes.rdp import is_prime
+
+__all__ = ["XCode"]
+
+
+class XCode(ArrayCode):
+    """X-Code over a prime ``p``: ``(k = p-2, m = 2)`` per-disk, XOR-only."""
+
+    def __init__(self, p: int) -> None:
+        if not is_prime(p) or p < 5:
+            raise InvalidCodeParametersError(
+                f"X-Code requires a prime p >= 5, got {p}"
+            )
+        self.p = p
+        self.rows = p
+        self.disks = p
+
+    @property
+    def k(self) -> int:
+        """Equivalent data-disk count (storage efficiency (p-2)/p)."""
+        return self.p - 2
+
+    @property
+    def m(self) -> int:
+        """Equivalent parity-disk count (always 2)."""
+        return 2
+
+    @lru_cache(maxsize=None)
+    def parity_sets(self) -> tuple[ParitySet, ...]:
+        p = self.p
+        sets: list[ParitySet] = []
+        for i in range(p):
+            diag = {(j, (i + j + 2) % p) for j in range(p - 2)}
+            diag.add((p - 2, i))
+            sets.append(ParitySet(kind="diagonal", index=i, symbols=frozenset(diag)))
+        for i in range(p):
+            anti = {(j, (i - j - 2) % p) for j in range(p - 2)}
+            anti.add((p - 1, i))
+            sets.append(
+                ParitySet(kind="antidiagonal", index=i, symbols=frozenset(anti))
+            )
+        return tuple(sets)
+
+    def data_symbols(self) -> tuple[Symbol, ...]:
+        return tuple(
+            (r, d) for d in range(self.p) for r in range(self.p - 2)
+        )
+
+    def encode(self, stripe: np.ndarray) -> np.ndarray:
+        p = self.p
+        for i in range(p):
+            acc = np.zeros(stripe.shape[2], dtype=np.uint8)
+            for j in range(p - 2):
+                np.bitwise_xor(acc, stripe[j, (i + j + 2) % p], out=acc)
+            stripe[p - 2, i, :] = acc
+        for i in range(p):
+            acc = np.zeros(stripe.shape[2], dtype=np.uint8)
+            for j in range(p - 2):
+                np.bitwise_xor(acc, stripe[j, (i - j - 2) % p], out=acc)
+            stripe[p - 1, i, :] = acc
+        return stripe

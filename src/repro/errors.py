@@ -1,0 +1,128 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Sub-hierarchies
+mirror the package layout: field arithmetic, erasure coding, cluster
+modelling, recovery planning, and network simulation each get their own
+branch.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "FieldError",
+    "DivisionByZeroError",
+    "CodingError",
+    "SingularMatrixError",
+    "InvalidCodeParametersError",
+    "InsufficientChunksError",
+    "ClusterError",
+    "PlacementError",
+    "UnknownNodeError",
+    "UnknownChunkError",
+    "NoFailureError",
+    "RecoveryError",
+    "NoValidSolutionError",
+    "PlanError",
+    "SimulationError",
+    "FlowError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A user-supplied configuration value is invalid or inconsistent."""
+
+
+# ---------------------------------------------------------------------------
+# Galois-field arithmetic
+# ---------------------------------------------------------------------------
+
+
+class FieldError(ReproError):
+    """Base class for finite-field arithmetic errors."""
+
+
+class DivisionByZeroError(FieldError, ZeroDivisionError):
+    """Division (or inversion) of the zero element was requested."""
+
+
+# ---------------------------------------------------------------------------
+# Erasure coding
+# ---------------------------------------------------------------------------
+
+
+class CodingError(ReproError):
+    """Base class for erasure-coding errors."""
+
+
+class SingularMatrixError(CodingError):
+    """A matrix that must be invertible turned out to be singular."""
+
+
+class InvalidCodeParametersError(CodingError, ValueError):
+    """The requested (k, m, w) combination cannot form a valid code."""
+
+
+class InsufficientChunksError(CodingError):
+    """Fewer than ``k`` chunks were supplied where ``k`` are required."""
+
+
+# ---------------------------------------------------------------------------
+# Cluster modelling
+# ---------------------------------------------------------------------------
+
+
+class ClusterError(ReproError):
+    """Base class for cluster / topology errors."""
+
+
+class PlacementError(ClusterError):
+    """Chunk placement could not satisfy its constraints."""
+
+
+class UnknownNodeError(ClusterError, KeyError):
+    """A node id does not exist in the topology."""
+
+
+class UnknownChunkError(ClusterError, KeyError):
+    """A chunk id does not exist in the cluster state."""
+
+
+class NoFailureError(ClusterError):
+    """A recovery was requested but no node is marked failed."""
+
+
+# ---------------------------------------------------------------------------
+# Recovery planning
+# ---------------------------------------------------------------------------
+
+
+class RecoveryError(ReproError):
+    """Base class for recovery planning/execution errors."""
+
+
+class NoValidSolutionError(RecoveryError):
+    """No valid per-stripe recovery solution exists (data loss)."""
+
+
+class PlanError(RecoveryError):
+    """A recovery plan is malformed or cannot be executed."""
+
+
+# ---------------------------------------------------------------------------
+# Network simulation
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for network/timing simulation errors."""
+
+
+class FlowError(SimulationError):
+    """A flow references unknown links or has an invalid size."""

@@ -1,0 +1,107 @@
+"""Plain-text (ASCII) chart rendering for terminal reports.
+
+The paper's figures are line and bar charts; in an offline terminal
+environment we render them as text so `repro-car ... --plot` output can
+be eyeballed next to the paper.  Two chart forms:
+
+- :func:`line_chart` — multi-series y-vs-x with a shared scaled axis;
+- :func:`bar_chart` — labelled horizontal bars.
+
+Rendering is deterministic and purely string-based, so the charts are
+unit-testable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import Series
+
+__all__ = ["bar_chart", "line_chart", "series_chart"]
+
+_GLYPHS = "ox*+#@"
+
+
+def bar_chart(
+    title: str,
+    values: Mapping[str, float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of labelled values.
+
+    Args:
+        title: heading line.
+        values: label -> value (non-negative).
+        width: character width of the longest bar.
+        unit: suffix printed after each value.
+    """
+    if not values:
+        raise ConfigurationError("bar_chart needs at least one value")
+    if any(v < 0 for v in values.values()):
+        raise ConfigurationError("bar_chart values must be non-negative")
+    peak = max(values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title]
+    for label, value in values.items():
+        bar = "#" * max(1 if value > 0 else 0, round(value / peak * width))
+        lines.append(f"{label.rjust(label_w)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    title: str,
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    height: int = 12,
+    width: int = 60,
+    y_label: str = "",
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    Args:
+        title: heading line.
+        series: name -> sequence of (x, y) points.
+        height / width: plot area size in characters.
+        y_label: y-axis annotation in the legend.
+    """
+    if not series:
+        raise ConfigurationError("line_chart needs at least one series")
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ConfigurationError("line_chart needs at least one point")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(series.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        for x, y in pts:
+            col = round((x - x_min) / x_span * (width - 1))
+            row = height - 1 - round((y - y_min) / y_span * (height - 1))
+            grid[row][col] = glyph
+
+    lines = [title]
+    for r, row in enumerate(grid):
+        y_val = y_max - r * y_span / (height - 1) if height > 1 else y_max
+        lines.append(f"{y_val:>10.3f} |{''.join(row)}")
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(f"{'':>11} {x_min:<10g}{'':^{max(0, width - 22)}}{x_max:>10g}")
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} = {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}" + (f"   (y: {y_label})" if y_label else ""))
+    return "\n".join(lines)
+
+
+def series_chart(title: str, series_list: Sequence[Series], y_label: str = "") -> str:
+    """Render experiment :class:`Series` objects as a line chart."""
+    mapping = {
+        s.label: list(zip(s.xs, s.means)) for s in series_list
+    }
+    return line_chart(title, mapping, y_label=y_label)

@@ -1,0 +1,135 @@
+"""Experiment driver: repeated randomised runs and averaging.
+
+The paper's methodology: random placement of 100 stripes, a random
+failed node, recover with each strategy, average over 50 runs.  The
+:class:`ExperimentRunner` reproduces that loop; each run derives its own
+seed so results are reproducible end to end, and within a run every
+strategy sees the *same* placement and failure (paired comparison, as
+on the testbed).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.cluster.failure import FailureInjector
+from repro.cluster.state import ClusterState, FailureEvent
+from repro.experiments.configs import CFSConfig, build_state
+from repro.recovery.baselines import RecoveryStrategy
+from repro.recovery.solution import MultiStripeSolution
+
+__all__ = ["RunResult", "Series", "ExperimentRunner", "mean_std"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything produced by one (placement, failure) run.
+
+    Attributes:
+        run_index: which repetition.
+        state: the cluster (still failed) the run used.
+        event: the injected failure.
+        solutions: strategy name -> its solution.
+        strategies: strategy name -> the strategy instance (so callers
+            can read per-strategy artefacts such as balance traces).
+    """
+
+    run_index: int
+    state: ClusterState
+    event: FailureEvent
+    solutions: dict[str, MultiStripeSolution]
+    strategies: dict[str, RecoveryStrategy]
+
+
+@dataclass(frozen=True)
+class Series:
+    """A labelled sequence of (x, mean, std) points — one figure line."""
+
+    label: str
+    xs: tuple[float, ...]
+    means: tuple[float, ...]
+    stds: tuple[float, ...]
+
+    def point(self, x: float) -> tuple[float, float]:
+        """(mean, std) at a given x.
+
+        Raises:
+            ValueError: if ``x`` is not one of the series' x values.
+        """
+        idx = self.xs.index(x)
+        return self.means[idx], self.stds[idx]
+
+
+def mean_std(values: Sequence[float]) -> tuple[float, float]:
+    """Mean and (population-0-safe) standard deviation of a sample."""
+    if not values:
+        raise ValueError("cannot summarise an empty sample")
+    mean = statistics.fmean(values)
+    std = statistics.stdev(values) if len(values) > 1 else 0.0
+    if math.isnan(std):  # pragma: no cover - stdev never returns NaN here
+        std = 0.0
+    return mean, std
+
+
+class ExperimentRunner:
+    """Repeats the paper's run loop for one CFS configuration.
+
+    Args:
+        config: the CFS setting.
+        runs: repetitions to average (paper: 50).
+        base_seed: root seed; run ``i`` uses ``base_seed + i`` for both
+            placement and failure choice.
+        num_stripes: stripes per run (paper: 100).
+    """
+
+    def __init__(
+        self,
+        config: CFSConfig,
+        runs: int = 50,
+        base_seed: int = 20160628,
+        num_stripes: int | None = None,
+    ) -> None:
+        self.config = config
+        self.runs = runs
+        self.base_seed = base_seed
+        self.num_stripes = num_stripes
+
+    def run_all(
+        self,
+        strategy_factories: dict[str, Callable[[int], RecoveryStrategy]],
+    ) -> list[RunResult]:
+        """Execute every run with freshly built strategies.
+
+        Args:
+            strategy_factories: name -> factory taking the run seed and
+                returning a strategy instance (strategies with RNGs must
+                be re-seeded per run for reproducibility).
+        """
+        return [self.run_one(i, strategy_factories) for i in range(self.runs)]
+
+    def run_one(
+        self,
+        run_index: int,
+        strategy_factories: dict[str, Callable[[int], RecoveryStrategy]],
+    ) -> RunResult:
+        """One (placement, failure, solve-with-every-strategy) run."""
+        seed = self.base_seed + run_index
+        state = build_state(self.config, seed, num_stripes=self.num_stripes)
+        injector = FailureInjector(rng=seed)
+        event = injector.fail_random_node(state)
+        solutions: dict[str, MultiStripeSolution] = {}
+        strategies: dict[str, RecoveryStrategy] = {}
+        for name, factory in strategy_factories.items():
+            strategy = factory(seed)
+            solutions[name] = strategy.solve(state)
+            strategies[name] = strategy
+        return RunResult(
+            run_index=run_index,
+            state=state,
+            event=event,
+            solutions=solutions,
+            strategies=strategies,
+        )

@@ -1,0 +1,188 @@
+"""Univariate polynomials over GF(2^w).
+
+Not on the hot path of CAR itself, but part of a complete finite-field
+substrate: polynomial evaluation underlies the classical (Reed & Solomon
+1960) view of RS codes, and the test suite uses it to cross-check the
+matrix-based encoder — evaluating the message polynomial at distinct
+points must agree with a Vandermonde-matrix encode.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import DivisionByZeroError, FieldError
+from repro.gf.field import GaloisField
+
+__all__ = ["Polynomial"]
+
+
+class Polynomial:
+    """A polynomial with coefficients in GF(2^w).
+
+    Coefficients are stored lowest-degree first and normalised (no
+    trailing zeros); the zero polynomial has an empty coefficient list
+    and degree ``-1``.
+    """
+
+    __slots__ = ("field", "coeffs")
+
+    def __init__(self, field: GaloisField, coeffs: Iterable[int] = ()) -> None:
+        self.field = field
+        cs = [field.check(int(c)) for c in coeffs]
+        while cs and cs[-1] == 0:
+            cs.pop()
+        self.coeffs: tuple[int, ...] = tuple(cs)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def zero(cls, field: GaloisField) -> "Polynomial":
+        """The zero polynomial."""
+        return cls(field)
+
+    @classmethod
+    def one(cls, field: GaloisField) -> "Polynomial":
+        """The constant polynomial 1."""
+        return cls(field, (1,))
+
+    @classmethod
+    def monomial(cls, field: GaloisField, degree: int, coeff: int = 1) -> "Polynomial":
+        """``coeff * x^degree``."""
+        if degree < 0:
+            raise FieldError("monomial degree must be non-negative")
+        return cls(field, [0] * degree + [coeff])
+
+    @classmethod
+    def interpolate(
+        cls, field: GaloisField, points: Sequence[tuple[int, int]]
+    ) -> "Polynomial":
+        """Lagrange interpolation through ``(x, y)`` points with distinct x."""
+        xs = [x for x, _ in points]
+        if len(set(xs)) != len(xs):
+            raise FieldError("interpolation points must have distinct x values")
+        result = cls.zero(field)
+        for i, (xi, yi) in enumerate(points):
+            num = cls.one(field)
+            denom = 1
+            for j, (xj, _) in enumerate(points):
+                if i == j:
+                    continue
+                num = num * cls(field, (xj, 1))  # (x - xj) == (x + xj) in char 2
+                denom = field.mul(denom, field.add(xi, xj))
+            scale = field.div(yi, denom)
+            result = result + num.scale(scale)
+        return result
+
+    # -- basic properties -------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial; ``-1`` for the zero polynomial."""
+        return len(self.coeffs) - 1
+
+    def is_zero(self) -> bool:
+        """True iff this is the zero polynomial."""
+        return not self.coeffs
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Polynomial)
+            and other.field == self.field
+            and other.coeffs == self.coeffs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field, self.coeffs))
+
+    def __repr__(self) -> str:
+        if self.is_zero():
+            return f"Polynomial(GF(2^{self.field.w}), 0)"
+        terms = [
+            f"{c}*x^{i}" if i else str(c)
+            for i, c in enumerate(self.coeffs)
+            if c
+        ]
+        return f"Polynomial(GF(2^{self.field.w}), {' + '.join(terms)})"
+
+    # -- arithmetic -------------------------------------------------------
+
+    def _check_field(self, other: "Polynomial") -> None:
+        if other.field != self.field:
+            raise FieldError("polynomials are over different fields")
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        self._check_field(other)
+        n = max(len(self.coeffs), len(other.coeffs))
+        a = list(self.coeffs) + [0] * (n - len(self.coeffs))
+        b = list(other.coeffs) + [0] * (n - len(other.coeffs))
+        return Polynomial(self.field, [x ^ y for x, y in zip(a, b)])
+
+    # Characteristic 2: subtraction is addition.
+    __sub__ = __add__
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        self._check_field(other)
+        if self.is_zero() or other.is_zero():
+            return Polynomial.zero(self.field)
+        out = [0] * (len(self.coeffs) + len(other.coeffs) - 1)
+        f = self.field
+        for i, a in enumerate(self.coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(other.coeffs):
+                out[i + j] ^= f.mul(a, b)
+        return Polynomial(self.field, out)
+
+    def scale(self, c: int) -> "Polynomial":
+        """Multiply every coefficient by the field constant ``c``."""
+        f = self.field
+        return Polynomial(f, [f.mul(c, a) for a in self.coeffs])
+
+    def divmod(self, divisor: "Polynomial") -> tuple["Polynomial", "Polynomial"]:
+        """Polynomial long division: return ``(quotient, remainder)``."""
+        self._check_field(divisor)
+        if divisor.is_zero():
+            raise DivisionByZeroError("polynomial division by zero")
+        f = self.field
+        rem = list(self.coeffs)
+        dq = divisor.degree
+        lead_inv = f.inv(divisor.coeffs[-1])
+        quot = [0] * max(0, len(rem) - dq)
+        for i in range(len(rem) - dq - 1, -1, -1):
+            coef = f.mul(rem[i + dq], lead_inv)
+            quot[i] = coef
+            if coef:
+                for j, dc in enumerate(divisor.coeffs):
+                    rem[i + j] ^= f.mul(coef, dc)
+        return Polynomial(f, quot), Polynomial(f, rem)
+
+    def __floordiv__(self, other: "Polynomial") -> "Polynomial":
+        return self.divmod(other)[0]
+
+    def __mod__(self, other: "Polynomial") -> "Polynomial":
+        return self.divmod(other)[1]
+
+    # -- evaluation ---------------------------------------------------------
+
+    def evaluate(self, x: int) -> int:
+        """Evaluate at the field element ``x`` (Horner's rule)."""
+        f = self.field
+        f.check(x)
+        acc = 0
+        for c in reversed(self.coeffs):
+            acc = f.mul(acc, x) ^ c
+        return acc
+
+    def evaluate_many(self, xs: Sequence[int]) -> list[int]:
+        """Evaluate at each of several points."""
+        return [self.evaluate(x) for x in xs]
+
+    def derivative(self) -> "Polynomial":
+        """Formal derivative; in characteristic 2 even-degree terms vanish."""
+        # d/dx sum c_i x^i = sum i*c_i x^{i-1}, and i*c_i is c_i XORed i
+        # times with itself, i.e. c_i when i is odd and 0 when i is even.
+        derived = [
+            self.coeffs[i] if i % 2 else 0 for i in range(1, len(self.coeffs))
+        ]
+        return Polynomial(self.field, derived)

@@ -1,0 +1,131 @@
+"""Discrete log / antilog table generation for GF(2^w).
+
+The fields GF(2^4), GF(2^8) and GF(2^16) are realised as polynomial rings
+over GF(2) modulo a fixed primitive polynomial (the same polynomials used
+by Jerasure 1.2, the library the paper's testbed used, so encoded bytes
+are interoperable):
+
+=====  ======================  =======================
+w      primitive polynomial    hex
+=====  ======================  =======================
+4      x^4 + x + 1             ``0x13``
+8      x^8 + x^4 + x^3 + x^2 + 1   ``0x11d``
+16     x^16 + x^12 + x^3 + x + 1   ``0x1100b``
+=====  ======================  =======================
+
+Because the polynomials are primitive, ``x`` (the element ``2``) generates
+the multiplicative group, and multiplication reduces to an addition of
+discrete logarithms modulo ``2^w - 1``.  Tables are built once per width
+and cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PRIMITIVE_POLYNOMIALS", "FieldTables", "get_tables", "supported_widths"]
+
+#: Primitive polynomial (with the leading term included) per field width.
+PRIMITIVE_POLYNOMIALS: dict[int, int] = {
+    4: 0x13,
+    8: 0x11D,
+    16: 0x1100B,
+}
+
+
+def supported_widths() -> tuple[int, ...]:
+    """Return the field widths this library supports, ascending."""
+    return tuple(sorted(PRIMITIVE_POLYNOMIALS))
+
+
+def _dtype_for_width(w: int) -> np.dtype:
+    """Smallest unsigned integer dtype that holds a GF(2^w) element."""
+    return np.dtype(np.uint8) if w <= 8 else np.dtype(np.uint16)
+
+
+@dataclass(frozen=True)
+class FieldTables:
+    """Precomputed discrete log / antilog tables for GF(2^w).
+
+    Attributes:
+        w: Field width in bits; the field has ``2^w`` elements.
+        prim_poly: Primitive polynomial used for reduction.
+        exp: ``exp[i] == g^i`` for the generator ``g = 2``.  The table is
+            doubled in length (``2 * (2^w - 1)`` entries) so that
+            ``exp[log[a] + log[b]]`` never needs an explicit modulo.
+        log: ``log[a]`` is the discrete log of ``a``; ``log[0]`` is a
+            sentinel (``2^w - 1``) and must never be dereferenced for the
+            zero element.
+        inv: Multiplicative inverse table; ``inv[0]`` is 0 as a sentinel.
+    """
+
+    w: int
+    prim_poly: int
+    exp: np.ndarray = field(repr=False)
+    log: np.ndarray = field(repr=False)
+    inv: np.ndarray = field(repr=False)
+
+    @property
+    def order(self) -> int:
+        """Number of elements in the field (``2^w``)."""
+        return 1 << self.w
+
+    @property
+    def group_order(self) -> int:
+        """Order of the multiplicative group (``2^w - 1``)."""
+        return (1 << self.w) - 1
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Numpy dtype used for element storage."""
+        return _dtype_for_width(self.w)
+
+
+def _build_tables(w: int) -> FieldTables:
+    if w not in PRIMITIVE_POLYNOMIALS:
+        raise ConfigurationError(
+            f"unsupported field width w={w}; supported: {supported_widths()}"
+        )
+    prim = PRIMITIVE_POLYNOMIALS[w]
+    order = 1 << w
+    group = order - 1
+    dtype = _dtype_for_width(w)
+
+    exp = np.zeros(2 * group, dtype=dtype)
+    log = np.zeros(order, dtype=np.int32)
+
+    x = 1
+    for i in range(group):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & order:
+            x ^= prim
+    # Mirror the table so exp[log[a] + log[b]] works without a modulo.
+    exp[group : 2 * group] = exp[:group]
+    log[0] = group  # sentinel; never valid as a log of a field element
+
+    inv = np.zeros(order, dtype=dtype)
+    # a^{-1} = g^{group - log a}
+    nonzero = np.arange(1, order)
+    inv[1:] = exp[(group - log[nonzero]) % group]
+
+    tables = FieldTables(w=w, prim_poly=prim, exp=exp, log=log, inv=inv)
+    exp.setflags(write=False)
+    log.setflags(write=False)
+    inv.setflags(write=False)
+    return tables
+
+
+_CACHE: dict[int, FieldTables] = {}
+
+
+def get_tables(w: int) -> FieldTables:
+    """Return (building and caching on first use) the tables for GF(2^w)."""
+    if w not in _CACHE:
+        _CACHE[w] = _build_tables(w)
+    return _CACHE[w]

@@ -1,0 +1,18 @@
+"""Network substrate: CFS fabric links and a max-min fair fluid simulator."""
+
+from repro.network.flow import ResourceKey, SimTask, flow_task, serial_task
+from repro.network.links import FabricModel, Link, gbps_to_bytes_per_s
+from repro.network.simulator import FluidNetworkSimulator, SimResult, maxmin_rates
+
+__all__ = [
+    "ResourceKey",
+    "SimTask",
+    "flow_task",
+    "serial_task",
+    "FabricModel",
+    "Link",
+    "gbps_to_bytes_per_s",
+    "FluidNetworkSimulator",
+    "SimResult",
+    "maxmin_rates",
+]

@@ -1,0 +1,103 @@
+"""Task model for the fluid network simulator.
+
+A simulation is a DAG of :class:`SimTask` items of two kinds:
+
+- **flow** — moves bytes along a fixed link path; shares link capacity
+  max-min fairly with all concurrently active flows;
+- **serial** — occupies one exclusive resource (a node's CPU or disk)
+  for a fixed duration; queued FIFO per resource.
+
+Dependencies encode recovery structure, e.g. a rack delegate's partial
+decode depends on the intra-rack flows delivering its inputs, and its
+cross-rack flow depends on the decode.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import FlowError
+
+__all__ = ["ResourceKey", "SimTask", "flow_task", "serial_task"]
+
+#: Identifies an exclusive serial resource, e.g. ``("cpu", 7)`` or ``("disk", 3)``.
+ResourceKey = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One unit of simulated work.
+
+    Exactly one of (``path`` with ``size_bytes``) or (``resource`` with
+    ``duration``) must be set.
+
+    Attributes:
+        task_id: unique name within the simulation.
+        deps: task ids that must finish before this task may start.
+        path: link ids for a flow task.
+        size_bytes: flow payload.
+        resource: exclusive resource for a serial task.
+        duration: serial-task service time in seconds.
+        tag: free-form label used by reporting (e.g. ``"xfer:cross"``,
+            ``"compute:final"``).
+    """
+
+    task_id: str
+    deps: frozenset[str] = field(default_factory=frozenset)
+    path: tuple[int, ...] | None = None
+    size_bytes: float = 0.0
+    resource: ResourceKey | None = None
+    duration: float = 0.0
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        is_flow = self.path is not None
+        is_serial = self.resource is not None
+        if is_flow == is_serial:
+            raise FlowError(
+                f"task {self.task_id!r} must be exactly one of flow/serial"
+            )
+        if is_flow and self.size_bytes <= 0:
+            raise FlowError(f"flow task {self.task_id!r} needs positive size")
+        if is_serial and self.duration < 0:
+            raise FlowError(f"serial task {self.task_id!r} has negative duration")
+
+    @property
+    def is_flow(self) -> bool:
+        """True for network flows, False for serial (CPU/disk) tasks."""
+        return self.path is not None
+
+
+def flow_task(
+    task_id: str,
+    path: Iterable[int],
+    size_bytes: float,
+    deps: Iterable[str] = (),
+    tag: str = "",
+) -> SimTask:
+    """Convenience constructor for a flow task."""
+    return SimTask(
+        task_id=task_id,
+        deps=frozenset(deps),
+        path=tuple(path),
+        size_bytes=float(size_bytes),
+        tag=tag,
+    )
+
+
+def serial_task(
+    task_id: str,
+    resource: ResourceKey,
+    duration: float,
+    deps: Iterable[str] = (),
+    tag: str = "",
+) -> SimTask:
+    """Convenience constructor for a serial (CPU/disk) task."""
+    return SimTask(
+        task_id=task_id,
+        deps=frozenset(deps),
+        resource=resource,
+        duration=float(duration),
+        tag=tag,
+    )

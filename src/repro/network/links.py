@@ -1,0 +1,119 @@
+"""Directed-link fabric model of the CFS network.
+
+Expands a :class:`~repro.cluster.topology.ClusterTopology` into the
+directed links a flow traverses:
+
+- per node: a NIC uplink (node -> ToR) and downlink (ToR -> node);
+- per rack: a core uplink (ToR -> core) and downlink (core -> ToR);
+- optionally a shared core crossbar link when the core capacity is
+  finite.
+
+An intra-rack flow touches two links (src NIC up, dst NIC down); a
+cross-rack flow additionally crosses its source rack's uplink, the core,
+and the destination rack's downlink.  The rack uplink is where the
+paper's over-subscription lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.topology import ClusterTopology
+from repro.errors import FlowError
+
+__all__ = ["Link", "FabricModel", "gbps_to_bytes_per_s"]
+
+
+def gbps_to_bytes_per_s(gbps: float) -> float:
+    """Convert gigabits/s (decimal, as switch vendors quote) to bytes/s."""
+    return gbps * 1e9 / 8.0
+
+
+@dataclass(frozen=True)
+class Link:
+    """One directed link of the fabric.
+
+    Attributes:
+        link_id: dense index (also the row in the capacity vector).
+        name: human-readable label for reports.
+        capacity: bytes per second.
+    """
+
+    link_id: int
+    name: str
+    capacity: float
+
+
+class FabricModel:
+    """Directed links and path lookup for one cluster topology."""
+
+    def __init__(self, topology: ClusterTopology) -> None:
+        self.topology = topology
+        bw = topology.bandwidth
+        nic = gbps_to_bytes_per_s(bw.node_nic_gbps)
+
+        links: list[Link] = []
+
+        def add(name: str, capacity: float) -> int:
+            links.append(Link(link_id=len(links), name=name, capacity=capacity))
+            return links[-1].link_id
+
+        self._node_up: dict[int, int] = {}
+        self._node_down: dict[int, int] = {}
+        for node in topology.nodes:
+            self._node_up[node.node_id] = add(f"{node.name}.up", nic)
+            self._node_down[node.node_id] = add(f"{node.name}.down", nic)
+        self._rack_up: dict[int, int] = {}
+        self._rack_down: dict[int, int] = {}
+        for rack in topology.racks:
+            uplink = gbps_to_bytes_per_s(bw.uplink_for(rack.rack_id))
+            self._rack_up[rack.rack_id] = add(f"{rack.name}.uplink", uplink)
+            self._rack_down[rack.rack_id] = add(f"{rack.name}.downlink", uplink)
+        self._core: int | None = None
+        if bw.core_gbps != float("inf"):
+            self._core = add("core", gbps_to_bytes_per_s(bw.core_gbps))
+
+        self.links: tuple[Link, ...] = tuple(links)
+        self.capacities: np.ndarray = np.array(
+            [l.capacity for l in links], dtype=np.float64
+        )
+
+    @property
+    def num_links(self) -> int:
+        """Total directed links in the fabric."""
+        return len(self.links)
+
+    def link(self, link_id: int) -> Link:
+        """Link by id."""
+        return self.links[link_id]
+
+    def path(self, src_node: int, dst_node: int) -> tuple[int, ...]:
+        """Ordered link ids a flow from ``src_node`` to ``dst_node`` uses.
+
+        Raises:
+            FlowError: if the endpoints coincide (no network involved).
+        """
+        if src_node == dst_node:
+            raise FlowError(f"flow endpoints coincide (node {src_node})")
+        src_rack = self.topology.rack_of(src_node)
+        dst_rack = self.topology.rack_of(dst_node)
+        if src_rack == dst_rack:
+            return (self._node_up[src_node], self._node_down[dst_node])
+        hops = [
+            self._node_up[src_node],
+            self._rack_up[src_rack],
+        ]
+        if self._core is not None:
+            hops.append(self._core)
+        hops.extend([self._rack_down[dst_rack], self._node_down[dst_node]])
+        return tuple(hops)
+
+    def rack_uplink(self, rack_id: int) -> Link:
+        """The (over-subscribed) uplink of one rack."""
+        return self.links[self._rack_up[rack_id]]
+
+    def node_downlink(self, node_id: int) -> Link:
+        """A node's receive link (the RR bottleneck at the replacement)."""
+        return self.links[self._node_down[node_id]]

@@ -1,0 +1,85 @@
+"""CAR recovery layer: per-stripe selection, balancing, planning, execution."""
+
+from repro.recovery.balancer import BalanceTrace, GreedyLoadBalancer
+from repro.recovery.baselines import (
+    CarStrategy,
+    EnumerationBalancedStrategy,
+    MinRackNoAggregationStrategy,
+    RandomAggregatedStrategy,
+    RandomRecoveryStrategy,
+    RecoveryStrategy,
+)
+from repro.recovery.executor import ExecutionResult, PlanExecutor
+from repro.recovery.lrc import LrcLocalRecoveryStrategy, lrc_groups_for_placement
+from repro.recovery.metrics import TrafficReport, reduction_ratio, traffic_report
+from repro.recovery.replacement import (
+    LeastLoadedReplacementPolicy,
+    ReplacementPolicy,
+    SameNodeReplacementPolicy,
+    SameRackReplacementPolicy,
+    eligible_replacements,
+    with_replacement,
+)
+from repro.recovery.planner import (
+    ComputeTask,
+    RecoveryPlan,
+    StripePlan,
+    Transfer,
+    plan_recovery,
+)
+from repro.recovery.selector import (
+    CarSelector,
+    build_solution,
+    iter_valid_rack_sets,
+    min_racks_needed,
+)
+from repro.recovery.solution import MultiStripeSolution, PerStripeSolution
+from repro.recovery.weighted import (
+    BandwidthAwareBalancer,
+    WeightedBalanceTrace,
+    drain_times,
+    solve_bandwidth_aware,
+)
+from repro.recovery.rackfail import RackRecovery, RackRecoverySolution, StripeRackLoss
+
+__all__ = [
+    "BalanceTrace",
+    "GreedyLoadBalancer",
+    "RecoveryStrategy",
+    "CarStrategy",
+    "RandomRecoveryStrategy",
+    "MinRackNoAggregationStrategy",
+    "RandomAggregatedStrategy",
+    "EnumerationBalancedStrategy",
+    "ExecutionResult",
+    "LrcLocalRecoveryStrategy",
+    "lrc_groups_for_placement",
+    "PlanExecutor",
+    "TrafficReport",
+    "traffic_report",
+    "reduction_ratio",
+    "ComputeTask",
+    "RecoveryPlan",
+    "StripePlan",
+    "Transfer",
+    "plan_recovery",
+    "ReplacementPolicy",
+    "SameNodeReplacementPolicy",
+    "SameRackReplacementPolicy",
+    "LeastLoadedReplacementPolicy",
+    "eligible_replacements",
+    "with_replacement",
+    "CarSelector",
+    "build_solution",
+    "iter_valid_rack_sets",
+    "min_racks_needed",
+    "MultiStripeSolution",
+    "PerStripeSolution",
+    "BandwidthAwareBalancer",
+    "WeightedBalanceTrace",
+    "drain_times",
+    "solve_bandwidth_aware",
+    "RackRecovery",
+    "RackRecoverySolution",
+    "StripeRackLoss",
+]

@@ -1,0 +1,182 @@
+"""Greedy multi-stripe load balancing — Algorithm 2 of the paper.
+
+Starting from an initial multi-stripe solution, each iteration:
+
+1. find the intact rack ``A_l`` with the highest cross-rack traffic
+   ``t_{l,f}``;
+2. look for another intact rack ``A_i`` with ``t_{l,f} - t_{i,f} >= 2``
+   (Equation 8 — the condition that guarantees the maximum is
+   monotonically non-increasing after moving one unit of traffic);
+3. find a stripe whose current solution reads from ``A_l`` and admits a
+   valid substitute that reads from ``A_i`` instead; substitute and move
+   to the next iteration.
+
+The loop stops after ``e`` iterations or at the first iteration with no
+possible substitution.  The full λ trajectory is recorded in a
+:class:`BalanceTrace` so Figure 8 can be regenerated directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.state import StripeView
+from repro.errors import RecoveryError
+from repro.recovery.selector import CarSelector
+from repro.recovery.solution import MultiStripeSolution
+
+__all__ = ["BalanceTrace", "GreedyLoadBalancer"]
+
+
+@dataclass
+class BalanceTrace:
+    """Record of one balancing run.
+
+    Attributes:
+        lambdas: λ after 0, 1, 2, ... iterations (index 0 = initial).
+        substitutions: how many per-stripe substitutions were applied.
+        converged_at: iteration index at which no substitution was
+            possible (None if the iteration budget ran out first).
+    """
+
+    lambdas: list[float] = field(default_factory=list)
+    substitutions: int = 0
+    converged_at: int | None = None
+
+    def lambda_after(self, iterations: int) -> float:
+        """λ after the given number of iterations (clamped to the end).
+
+        This is what Figure 8 plots at iteration checkpoints: once the
+        algorithm converges, λ stays at its final value.
+        """
+        if not self.lambdas:
+            raise RecoveryError("empty balance trace")
+        return self.lambdas[min(iterations, len(self.lambdas) - 1)]
+
+    @property
+    def initial_lambda(self) -> float:
+        """λ of the initial (unbalanced) solution."""
+        return self.lambda_after(0)
+
+    @property
+    def final_lambda(self) -> float:
+        """λ of the final solution."""
+        return self.lambdas[-1]
+
+
+class GreedyLoadBalancer:
+    """Algorithm 2: iterative single-substitution load balancing.
+
+    Args:
+        iterations: the paper's ``e`` — the iteration budget.
+        baseline_traffic: optional per-rack traffic offsets (chunk
+            units) added to the current solution's ``t_{i,f}`` when
+            choosing substitutions.  This is the *history-aware*
+            extension: passing the cumulative cross-rack traffic of past
+            repairs makes Algorithm 2 balance the long-run rack load,
+            not just this event's (see
+            :class:`repro.workloads.longrun.LongRunSimulator`).  The
+            recorded λ trace is then computed over baseline + current.
+    """
+
+    def __init__(
+        self,
+        iterations: int = 50,
+        baseline_traffic: list[int] | tuple[int, ...] | None = None,
+    ) -> None:
+        if iterations < 0:
+            raise RecoveryError("iteration budget must be non-negative")
+        self.iterations = iterations
+        self.baseline_traffic = (
+            None if baseline_traffic is None else list(baseline_traffic)
+        )
+
+    def _loaded_traffic(self, solution: MultiStripeSolution) -> list[int]:
+        t = solution.traffic_by_rack()
+        if self.baseline_traffic is None:
+            return t
+        if len(self.baseline_traffic) != len(t):
+            raise RecoveryError(
+                f"baseline has {len(self.baseline_traffic)} racks, "
+                f"solution has {len(t)}"
+            )
+        return [a + b for a, b in zip(t, self.baseline_traffic)]
+
+    def _lambda(self, solution: MultiStripeSolution) -> float:
+        if self.baseline_traffic is None:
+            return solution.load_balancing_rate()
+        t = self._loaded_traffic(solution)
+        intact = [
+            t[i] for i in range(solution.num_racks) if i != solution.failed_rack
+        ]
+        total = sum(intact)
+        if total == 0:
+            return 1.0
+        return max(intact) / (total / len(intact))
+
+    def balance(
+        self,
+        views: dict[int, StripeView],
+        initial: MultiStripeSolution,
+        selector: CarSelector,
+    ) -> tuple[MultiStripeSolution, BalanceTrace]:
+        """Run the greedy balancing loop.
+
+        Args:
+            views: stripe_id -> :class:`StripeView` for every stripe in
+                ``initial`` (needed to re-derive valid substitutes).
+            initial: the starting multi-stripe solution (aggregated).
+            selector: the per-stripe selector for substitution checks.
+
+        Returns:
+            The balanced solution and its :class:`BalanceTrace`.
+        """
+        if not initial.aggregated:
+            raise RecoveryError(
+                "load balancing operates on aggregated (CAR) solutions"
+            )
+        current = initial
+        trace = BalanceTrace(lambdas=[self._lambda(current)])
+        for it in range(self.iterations):
+            substituted = self._try_substitute(views, current, selector)
+            if substituted is None:
+                trace.converged_at = it
+                break
+            current = substituted
+            trace.substitutions += 1
+            trace.lambdas.append(self._lambda(current))
+        return current, trace
+
+    def _try_substitute(
+        self,
+        views: dict[int, StripeView],
+        current: MultiStripeSolution,
+        selector: CarSelector,
+    ) -> MultiStripeSolution | None:
+        """One iteration body (steps 5-11); None if no substitution exists."""
+        t = self._loaded_traffic(current)
+        intact = [
+            r for r in range(current.num_racks) if r != current.failed_rack
+        ]
+        if not intact:
+            return None
+        # Step 5: the most-loaded intact rack.  Ties by rack id.
+        l_rack = max(intact, key=lambda r: (t[r], -r))
+        # Step 6-7: candidate target racks, least-loaded first.
+        candidates = sorted(
+            (r for r in intact if r != l_rack and t[l_rack] - t[r] >= 2),
+            key=lambda r: (t[r], r),
+        )
+        for i_rack in candidates:
+            for sol in current.solutions:
+                if not sol.uses_rack(l_rack):
+                    continue
+                view = views.get(sol.stripe_id)
+                if view is None:
+                    raise RecoveryError(
+                        f"no stripe view supplied for stripe {sol.stripe_id}"
+                    )
+                replacement = selector.substitute(view, sol, l_rack, i_rack)
+                if replacement is not None:
+                    return current.replace(replacement)
+        return None

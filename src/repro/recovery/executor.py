@@ -1,0 +1,142 @@
+"""Executes recovery plans on real chunk bytes and verifies the result.
+
+This is the end-to-end correctness check of the whole pipeline: the
+selector picks racks, the planner schedules flows, and the executor
+performs the actual GF(2^w) arithmetic — rack delegates compute partial
+decodes (Equation 7), the replacement node combines them — and compares
+every reconstructed chunk byte-for-byte against the
+:class:`~repro.cluster.state.DataStore` ground truth.
+
+It also returns the per-node compute and per-scope transfer byte
+counters that the timing model (:mod:`repro.sim`) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.state import ClusterState
+from repro.erasure.repair import (
+    combine_partials,
+    execute_partial_decode,
+    split_repair_vector,
+)
+from repro.errors import PlanError
+from repro.recovery.planner import RecoveryPlan
+from repro.recovery.solution import MultiStripeSolution
+
+__all__ = ["ExecutionResult", "PlanExecutor"]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of executing a recovery plan on real data.
+
+    Attributes:
+        reconstructed: stripe_id -> rebuilt chunk buffer.
+        per_stripe_ok: stripe_id -> byte-exact match against ground truth.
+        bytes_computed_by_node: node -> GF input bytes processed (the
+            quantity the computation-time model charges).
+        cross_rack_bytes / intra_rack_bytes: transfer volume by scope.
+    """
+
+    reconstructed: dict[int, np.ndarray] = field(default_factory=dict)
+    per_stripe_ok: dict[int, bool] = field(default_factory=dict)
+    bytes_computed_by_node: dict[int, int] = field(default_factory=dict)
+    cross_rack_bytes: int = 0
+    intra_rack_bytes: int = 0
+
+    @property
+    def verified(self) -> bool:
+        """True iff every stripe reconstructed byte-exactly."""
+        return bool(self.per_stripe_ok) and all(self.per_stripe_ok.values())
+
+    @property
+    def total_compute_bytes(self) -> int:
+        """Total GF input bytes across all nodes."""
+        return sum(self.bytes_computed_by_node.values())
+
+
+class PlanExecutor:
+    """Runs a :class:`RecoveryPlan` against a cluster's stored bytes."""
+
+    def __init__(self, state: ClusterState) -> None:
+        if state.data is None:
+            raise PlanError("executing a plan requires a DataStore")
+        self.state = state
+
+    def execute(
+        self, plan: RecoveryPlan, solution: MultiStripeSolution
+    ) -> ExecutionResult:
+        """Execute and verify every stripe of the plan.
+
+        Args:
+            plan: the transfer/compute schedule.
+            solution: the solution the plan was built from (supplies the
+                helper grouping for the repair-vector split).
+        """
+        result = ExecutionResult()
+        chunk_bytes = self.state.data.chunk_size
+        for t in plan.all_transfers():
+            if t.cross_rack:
+                result.cross_rack_bytes += chunk_bytes
+            else:
+                result.intra_rack_bytes += chunk_bytes
+        for sol in solution.solutions:
+            if plan.aggregated:
+                rebuilt = self._execute_stripe_aggregated(sol, plan, result)
+            else:
+                rebuilt = self._execute_stripe_direct(sol, plan, result)
+            result.reconstructed[sol.stripe_id] = rebuilt
+            result.per_stripe_ok[sol.stripe_id] = self.state.data.matches(
+                sol.stripe_id, sol.lost_chunk, rebuilt
+            )
+        return result
+
+    # -- internals ------------------------------------------------------
+
+    def _charge(self, result: ExecutionResult, node: int, nbytes: int) -> None:
+        result.bytes_computed_by_node[node] = (
+            result.bytes_computed_by_node.get(node, 0) + nbytes
+        )
+
+    def _chunks(self, stripe_id: int, indices) -> dict[int, np.ndarray]:
+        return {
+            c: self.state.data.chunk(stripe_id, c) for c in indices
+        }
+
+    def _execute_stripe_aggregated(self, sol, plan: RecoveryPlan, result):
+        code = self.state.code
+        chunk_bytes = self.state.data.chunk_size
+        decode_plan = split_repair_vector(
+            code, sol.lost_chunk, sol.helpers, sol.rack_map()
+        )
+        chunks = self._chunks(sol.stripe_id, sol.helpers)
+        partials = execute_partial_decode(code, decode_plan, chunks)
+        # Charge each rack's partial decode to its delegate (or to the
+        # replacement node for the failed rack's local fold).
+        stripe_plan = next(
+            sp for sp in plan.stripe_plans if sp.stripe_id == sol.stripe_id
+        )
+        for group in decode_plan.groups:
+            if group.group_key == sol.failed_rack:
+                node = plan.replacement_node
+            else:
+                node = stripe_plan.delegates[group.group_key]
+            self._charge(result, node, group.size * chunk_bytes)
+        # Final XOR of the per-rack partials at the replacement node.
+        self._charge(
+            result, plan.replacement_node, len(partials) * chunk_bytes
+        )
+        return combine_partials(code, partials)
+
+    def _execute_stripe_direct(self, sol, plan: RecoveryPlan, result):
+        code = self.state.code
+        chunk_bytes = self.state.data.chunk_size
+        chunks = self._chunks(sol.stripe_id, sol.helpers)
+        self._charge(
+            result, plan.replacement_node, len(chunks) * chunk_bytes
+        )
+        return code.reconstruct(sol.lost_chunk, chunks)

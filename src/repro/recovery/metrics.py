@@ -1,0 +1,90 @@
+"""Traffic and balance metrics over multi-stripe recovery solutions.
+
+Produces the numbers the paper's evaluation reports: cross-rack repair
+traffic (per rack / total, chunks and bytes) and the load-balancing
+rate λ, plus comparison helpers ("CAR reduces X % of cross-rack
+traffic").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RecoveryError
+from repro.recovery.solution import MultiStripeSolution
+
+__all__ = ["TrafficReport", "traffic_report", "reduction_ratio"]
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """Cross-rack traffic summary for one recovery solution.
+
+    Attributes:
+        strategy: name of the producing strategy.
+        chunk_size_bytes: chunk size used to convert chunks to bytes.
+        per_rack_chunks: ``t_{i,f}`` per rack, chunk units.
+        failed_rack: index of ``A_f`` (whose entry is always 0).
+        lambda_rate: the paper's λ.
+        num_stripes: stripes repaired.
+    """
+
+    strategy: str
+    chunk_size_bytes: int
+    per_rack_chunks: tuple[int, ...]
+    failed_rack: int
+    lambda_rate: float
+    num_stripes: int
+
+    @property
+    def total_chunks(self) -> int:
+        """Total cross-rack traffic in chunk units."""
+        return sum(self.per_rack_chunks)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total cross-rack traffic in bytes."""
+        return self.total_chunks * self.chunk_size_bytes
+
+    @property
+    def per_rack_bytes(self) -> tuple[int, ...]:
+        """Per-rack cross-rack traffic in bytes."""
+        return tuple(c * self.chunk_size_bytes for c in self.per_rack_chunks)
+
+    @property
+    def max_rack_chunks(self) -> int:
+        """The most-loaded intact rack's traffic, chunk units."""
+        return max(self.per_rack_chunks)
+
+    def per_stripe_chunks(self) -> float:
+        """Average cross-rack chunks shipped per repaired stripe."""
+        return self.total_chunks / self.num_stripes
+
+
+def traffic_report(
+    solution: MultiStripeSolution,
+    chunk_size_bytes: int,
+    strategy: str = "",
+) -> TrafficReport:
+    """Build a :class:`TrafficReport` from a solution."""
+    if chunk_size_bytes <= 0:
+        raise RecoveryError("chunk size must be positive")
+    return TrafficReport(
+        strategy=strategy,
+        chunk_size_bytes=chunk_size_bytes,
+        per_rack_chunks=tuple(solution.traffic_by_rack()),
+        failed_rack=solution.failed_rack,
+        lambda_rate=solution.load_balancing_rate(),
+        num_stripes=len(solution),
+    )
+
+
+def reduction_ratio(baseline: TrafficReport, improved: TrafficReport) -> float:
+    """Fractional saving of ``improved`` over ``baseline`` (0.669 = 66.9 %).
+
+    Raises:
+        RecoveryError: if the baseline shipped no traffic.
+    """
+    if baseline.total_chunks == 0:
+        raise RecoveryError("baseline has zero traffic; ratio undefined")
+    return 1.0 - improved.total_chunks / baseline.total_chunks

@@ -1,0 +1,304 @@
+"""Turns recovery solutions into executable transfer/compute plans.
+
+A :class:`RecoveryPlan` is the operational form of a
+:class:`~repro.recovery.solution.MultiStripeSolution`: who reads what,
+who sends what to whom (chunk-granular, so the network simulator can
+schedule each flow), and who computes what (so the timing model can
+charge GF arithmetic to the right CPU).
+
+Plan construction follows the paper's methodology section:
+
+- **CAR (aggregated)**: in every accessed intact rack, the replacement
+  node designates a *delegate* — one of the nodes holding a retrieved
+  chunk.  The rack's other holders send their chunks to the delegate
+  (intra-rack); the delegate partially decodes them into one chunk and
+  sends it across the core (one cross-rack flow per rack).  Survivors
+  in the failed rack send intra-rack straight to the replacement node,
+  which folds them in with their repair coefficients and XORs all
+  partials together.
+- **RR (direct)**: every helper node sends its chunk straight to the
+  replacement node; flows from other racks cross the core.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.cluster.state import ClusterState, FailureEvent
+from repro.errors import PlanError
+from repro.recovery.solution import MultiStripeSolution, PerStripeSolution
+
+__all__ = ["Transfer", "ComputeTask", "StripePlan", "RecoveryPlan", "plan_recovery"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One chunk-sized flow between two nodes.
+
+    Attributes:
+        stripe_id: stripe this flow serves.
+        src_node / dst_node: endpoints.
+        src_rack / dst_rack: their racks (cached for the simulator).
+        chunk_index: the stripe-local chunk carried, or None when the
+            payload is a partially decoded chunk.
+    """
+
+    stripe_id: int
+    src_node: int
+    dst_node: int
+    src_rack: int
+    dst_rack: int
+    chunk_index: int | None
+
+    @property
+    def cross_rack(self) -> bool:
+        """True iff the flow traverses the over-subscribed core."""
+        return self.src_rack != self.dst_rack
+
+    @property
+    def is_partial(self) -> bool:
+        """True iff the payload is a partially decoded chunk."""
+        return self.chunk_index is None
+
+
+@dataclass(frozen=True)
+class ComputeTask:
+    """A GF linear combination charged to one node's CPU.
+
+    Attributes:
+        stripe_id: stripe this computation serves.
+        node: where it runs.
+        input_chunks: how many chunk-sized buffers are combined.
+        kind: ``"partial"`` (rack delegate, Equation 7), ``"local"``
+            (replacement node folding the failed rack's survivors) or
+            ``"final"`` (replacement node XOR-combining partials /
+            decoding raw chunks).
+        chunks: the stripe-local raw chunk indices combined (empty for a
+            ``"final"`` task that combines partially decoded buffers).
+    """
+
+    stripe_id: int
+    node: int
+    input_chunks: int
+    kind: str
+    chunks: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class StripePlan:
+    """Plan for one stripe: its transfers, compute tasks, and delegates."""
+
+    stripe_id: int
+    lost_chunk: int
+    transfers: tuple[Transfer, ...]
+    compute: tuple[ComputeTask, ...]
+    delegates: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def cross_rack_transfers(self) -> tuple[Transfer, ...]:
+        """Flows crossing the core."""
+        return tuple(t for t in self.transfers if t.cross_rack)
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """Executable plan for a whole multi-stripe recovery.
+
+    Attributes:
+        stripe_plans: one per affected stripe, stripe-sorted.
+        replacement_node: destination of every reconstruction.
+        aggregated: whether partial decoding is used.
+    """
+
+    stripe_plans: tuple[StripePlan, ...]
+    replacement_node: int
+    aggregated: bool
+
+    def all_transfers(self) -> Iterator[Transfer]:
+        """Every flow in the plan."""
+        for sp in self.stripe_plans:
+            yield from sp.transfers
+
+    def all_compute(self) -> Iterator[ComputeTask]:
+        """Every compute task in the plan."""
+        for sp in self.stripe_plans:
+            yield from sp.compute
+
+    def cross_rack_chunks(self) -> int:
+        """Cross-rack traffic in chunk units (must match the solution)."""
+        return sum(1 for t in self.all_transfers() if t.cross_rack)
+
+    def intra_rack_chunks(self) -> int:
+        """Intra-rack traffic in chunk units."""
+        return sum(1 for t in self.all_transfers() if not t.cross_rack)
+
+    def cross_rack_by_rack(self, num_racks: int) -> list[int]:
+        """Cross-rack chunks sourced from each rack (the plan's t_{i,f})."""
+        out = [0] * num_racks
+        for t in self.all_transfers():
+            if t.cross_rack:
+                out[t.src_rack] += 1
+        return out
+
+
+def plan_recovery(
+    state: ClusterState,
+    event: FailureEvent,
+    solution: MultiStripeSolution,
+) -> RecoveryPlan:
+    """Build the executable plan for ``solution`` on ``state``.
+
+    Raises:
+        PlanError: if the solution references chunks the placement does
+            not hold where expected.
+    """
+    plans = []
+    for sol in solution.solutions:
+        if solution.aggregated:
+            plans.append(_plan_stripe_aggregated(state, event, sol))
+        else:
+            plans.append(_plan_stripe_direct(state, event, sol))
+    return RecoveryPlan(
+        stripe_plans=tuple(plans),
+        replacement_node=event.replacement_node,
+        aggregated=solution.aggregated,
+    )
+
+
+def _holder(state: ClusterState, sol: PerStripeSolution, chunk: int) -> int:
+    node = state.placement.node_of(sol.stripe_id, chunk)
+    if node == state.failed_node:
+        raise PlanError(
+            f"stripe {sol.stripe_id}: chunk {chunk} lives on the failed node"
+        )
+    return node
+
+
+def _plan_stripe_aggregated(
+    state: ClusterState, event: FailureEvent, sol: PerStripeSolution
+) -> StripePlan:
+    repl = event.replacement_node
+    repl_rack = state.topology.rack_of(repl)
+    transfers: list[Transfer] = []
+    compute: list[ComputeTask] = []
+    delegates: dict[int, int] = {}
+    partials_at_repl = 0
+
+    for rack in sorted(sol.chunks_by_rack):
+        chunks = sol.chunks_from_rack(rack)
+        holders = {c: _holder(state, sol, c) for c in chunks}
+        if rack == sol.failed_rack:
+            # Survivors in A_f ship intra-rack to the replacement node,
+            # which folds them locally (one more "partial" input).
+            for c, node in sorted(holders.items()):
+                if node != repl:
+                    transfers.append(
+                        Transfer(
+                            stripe_id=sol.stripe_id,
+                            src_node=node,
+                            dst_node=repl,
+                            src_rack=rack,
+                            dst_rack=repl_rack,
+                            chunk_index=c,
+                        )
+                    )
+            compute.append(
+                ComputeTask(
+                    stripe_id=sol.stripe_id,
+                    node=repl,
+                    input_chunks=len(chunks),
+                    kind="local",
+                    chunks=tuple(chunks),
+                )
+            )
+            partials_at_repl += 1
+            continue
+        # Intact rack: delegate = holder of the lowest retrieved chunk.
+        delegate = holders[min(holders)]
+        delegates[rack] = delegate
+        for c, node in sorted(holders.items()):
+            if node != delegate:
+                transfers.append(
+                    Transfer(
+                        stripe_id=sol.stripe_id,
+                        src_node=node,
+                        dst_node=delegate,
+                        src_rack=rack,
+                        dst_rack=rack,
+                        chunk_index=c,
+                    )
+                )
+        compute.append(
+            ComputeTask(
+                stripe_id=sol.stripe_id,
+                node=delegate,
+                input_chunks=len(chunks),
+                kind="partial",
+                chunks=tuple(chunks),
+            )
+        )
+        transfers.append(
+            Transfer(
+                stripe_id=sol.stripe_id,
+                src_node=delegate,
+                dst_node=repl,
+                src_rack=rack,
+                dst_rack=repl_rack,
+                chunk_index=None,
+            )
+        )
+        partials_at_repl += 1
+
+    compute.append(
+        ComputeTask(
+            stripe_id=sol.stripe_id,
+            node=repl,
+            input_chunks=partials_at_repl,
+            kind="final",
+        )
+    )
+    return StripePlan(
+        stripe_id=sol.stripe_id,
+        lost_chunk=sol.lost_chunk,
+        transfers=tuple(transfers),
+        compute=tuple(compute),
+        delegates=delegates,
+    )
+
+
+def _plan_stripe_direct(
+    state: ClusterState, event: FailureEvent, sol: PerStripeSolution
+) -> StripePlan:
+    repl = event.replacement_node
+    repl_rack = state.topology.rack_of(repl)
+    transfers: list[Transfer] = []
+    for rack in sorted(sol.chunks_by_rack):
+        for c in sol.chunks_from_rack(rack):
+            node = _holder(state, sol, c)
+            transfers.append(
+                Transfer(
+                    stripe_id=sol.stripe_id,
+                    src_node=node,
+                    dst_node=repl,
+                    src_rack=rack,
+                    dst_rack=repl_rack,
+                    chunk_index=c,
+                )
+            )
+    compute = (
+        ComputeTask(
+            stripe_id=sol.stripe_id,
+            node=repl,
+            input_chunks=sol.helper_count,
+            kind="final",
+            chunks=sol.helpers,
+        ),
+    )
+    return StripePlan(
+        stripe_id=sol.stripe_id,
+        lost_chunk=sol.lost_chunk,
+        transfers=tuple(transfers),
+        compute=compute,
+        delegates={},
+    )

@@ -1,0 +1,203 @@
+"""Recovery-solution objects and their traffic accounting.
+
+A *per-stripe recovery solution* fixes which ``k`` surviving chunks are
+retrieved to rebuild one lost chunk, grouped by rack.  A *multi-stripe
+solution* collects one per affected stripe; the paper's load-balancing
+objective λ (Section III) is defined over it.
+
+Traffic accounting follows the paper exactly:
+
+- with **aggregation** (CAR): each accessed intact rack ships exactly
+  one partially decoded chunk, so ``t_{i,f}`` = number of stripes whose
+  solution touches rack ``i``;
+- without aggregation (RR): every retrieved chunk in an intact rack is
+  shipped individually, so ``t_{i,f}`` = number of chunks retrieved
+  from rack ``i``.
+
+Retrievals inside the failed rack ``A_f`` are intra-rack and never
+counted as cross-rack traffic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import RecoveryError
+
+__all__ = ["PerStripeSolution", "MultiStripeSolution"]
+
+
+@dataclass(frozen=True)
+class PerStripeSolution:
+    """Which chunks one stripe's repair retrieves, grouped by rack.
+
+    Attributes:
+        stripe_id: the stripe being repaired.
+        lost_chunk: stripe-local index of the lost chunk.
+        failed_rack: the paper's ``A_f`` (rack of the failed node).
+        chunks_by_rack: rack_id -> retrieved chunk indices in that rack.
+            Includes the failed rack's local retrievals.
+    """
+
+    stripe_id: int
+    lost_chunk: int
+    failed_rack: int
+    chunks_by_rack: Mapping[int, tuple[int, ...]]
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for rack, chunks in self.chunks_by_rack.items():
+            if not chunks:
+                raise RecoveryError(
+                    f"stripe {self.stripe_id}: rack {rack} listed with no chunks"
+                )
+            for c in chunks:
+                if c == self.lost_chunk:
+                    raise RecoveryError(
+                        f"stripe {self.stripe_id}: solution retrieves the lost chunk"
+                    )
+                if c in seen:
+                    raise RecoveryError(
+                        f"stripe {self.stripe_id}: chunk {c} retrieved twice"
+                    )
+                seen.add(c)
+
+    @property
+    def helpers(self) -> tuple[int, ...]:
+        """All retrieved chunk indices, sorted (the RS helper set)."""
+        out: list[int] = []
+        for chunks in self.chunks_by_rack.values():
+            out.extend(chunks)
+        return tuple(sorted(out))
+
+    @property
+    def helper_count(self) -> int:
+        """Total chunks retrieved (must equal ``k`` for an RS repair)."""
+        return sum(len(c) for c in self.chunks_by_rack.values())
+
+    @property
+    def intact_racks_accessed(self) -> tuple[int, ...]:
+        """Intact racks this solution reads from, sorted (size = ``d_j``)."""
+        return tuple(
+            sorted(r for r in self.chunks_by_rack if r != self.failed_rack)
+        )
+
+    @property
+    def num_intact_racks(self) -> int:
+        """The paper's ``d_j`` for this solution."""
+        return len(self.intact_racks_accessed)
+
+    def chunks_from_rack(self, rack_id: int) -> tuple[int, ...]:
+        """Chunk indices retrieved from one rack (empty if unused)."""
+        return tuple(self.chunks_by_rack.get(rack_id, ()))
+
+    def uses_rack(self, rack_id: int) -> bool:
+        """True iff the solution reads at least one chunk from ``rack_id``."""
+        return rack_id in self.chunks_by_rack
+
+    def cross_rack_chunks(self, aggregated: bool) -> dict[int, int]:
+        """Cross-rack traffic per intact rack, in chunk units."""
+        out: dict[int, int] = {}
+        for rack, chunks in self.chunks_by_rack.items():
+            if rack == self.failed_rack:
+                continue
+            out[rack] = 1 if aggregated else len(chunks)
+        return out
+
+    def rack_map(self) -> dict[int, int]:
+        """chunk index -> rack id, for partial-decode grouping."""
+        return {
+            c: rack
+            for rack, chunks in self.chunks_by_rack.items()
+            for c in chunks
+        }
+
+
+class MultiStripeSolution:
+    """One per-stripe solution for every affected stripe, plus λ math.
+
+    Args:
+        solutions: per-stripe solutions (any order; stored stripe-sorted).
+        num_racks: the paper's ``r``.
+        aggregated: whether intra-rack aggregation (partial decoding) is
+            applied when counting cross-rack traffic.
+    """
+
+    def __init__(
+        self,
+        solutions: Sequence[PerStripeSolution],
+        num_racks: int,
+        aggregated: bool,
+    ) -> None:
+        if not solutions:
+            raise RecoveryError("multi-stripe solution needs at least one stripe")
+        failed_racks = {s.failed_rack for s in solutions}
+        if len(failed_racks) != 1:
+            raise RecoveryError(
+                f"solutions disagree on the failed rack: {failed_racks}"
+            )
+        self.solutions = sorted(solutions, key=lambda s: s.stripe_id)
+        self.num_racks = num_racks
+        self.aggregated = aggregated
+        self.failed_rack = failed_racks.pop()
+
+    def __len__(self) -> int:
+        return len(self.solutions)
+
+    def __iter__(self):
+        return iter(self.solutions)
+
+    def solution_for(self, stripe_id: int) -> PerStripeSolution:
+        """The per-stripe solution for ``stripe_id``.
+
+        Raises:
+            RecoveryError: if the stripe is not part of this solution.
+        """
+        for s in self.solutions:
+            if s.stripe_id == stripe_id:
+                return s
+        raise RecoveryError(f"no solution for stripe {stripe_id}")
+
+    def replace(self, new: PerStripeSolution) -> "MultiStripeSolution":
+        """A copy with the solution for ``new.stripe_id`` substituted."""
+        rest = [s for s in self.solutions if s.stripe_id != new.stripe_id]
+        if len(rest) == len(self.solutions):
+            raise RecoveryError(f"no existing solution for stripe {new.stripe_id}")
+        return MultiStripeSolution(
+            rest + [new], num_racks=self.num_racks, aggregated=self.aggregated
+        )
+
+    # -- traffic metrics ----------------------------------------------------
+
+    def traffic_by_rack(self) -> list[int]:
+        """``t_{i,f}`` in chunk units for every rack ``i`` (0 at ``A_f``)."""
+        t = [0] * self.num_racks
+        for sol in self.solutions:
+            for rack, amount in sol.cross_rack_chunks(self.aggregated).items():
+                t[rack] += amount
+        return t
+
+    def total_cross_rack_traffic(self) -> int:
+        """Total cross-rack repair traffic, in chunk units."""
+        return sum(self.traffic_by_rack())
+
+    def load_balancing_rate(self) -> float:
+        """The paper's λ: max over intact racks / mean over intact racks.
+
+        Defined as 1.0 when there is no cross-rack traffic at all.
+        """
+        t = self.traffic_by_rack()
+        intact = [t[i] for i in range(self.num_racks) if i != self.failed_rack]
+        total = sum(intact)
+        if total == 0:
+            return 1.0
+        return max(intact) / (total / len(intact))
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiStripeSolution(stripes={len(self.solutions)}, "
+            f"racks={self.num_racks}, aggregated={self.aggregated}, "
+            f"traffic={self.total_cross_rack_traffic()}, "
+            f"lambda={self.load_balancing_rate():.3f})"
+        )

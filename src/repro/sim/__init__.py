@@ -1,0 +1,21 @@
+"""Timing simulation: hardware profiles and recovery-time estimation."""
+
+from repro.sim.hardware import TABLE_III_PROFILES, HardwareModel, NodeHardware
+from repro.sim.recovery_sim import RecoverySimulator, RecoveryTiming, build_tasks
+from repro.sim.timing import (
+    SerialRecoveryTiming,
+    StripeSerialTimingModel,
+    StripeTiming,
+)
+
+__all__ = [
+    "NodeHardware",
+    "HardwareModel",
+    "TABLE_III_PROFILES",
+    "RecoverySimulator",
+    "RecoveryTiming",
+    "build_tasks",
+    "SerialRecoveryTiming",
+    "StripeSerialTimingModel",
+    "StripeTiming",
+]

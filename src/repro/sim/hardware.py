@@ -1,0 +1,183 @@
+"""Per-node hardware profiles (the paper's Table III) and timing rates.
+
+The paper's testbed racks are heterogeneous: each rack has a distinct
+server class (an AMD Opteron rack, three Xeon generations).  We model
+the two rates that matter for recovery timing:
+
+- ``gf_mbps``: sustained GF(2^8) decode throughput (how fast a node can
+  compute linear combinations of chunk buffers).  Calibrated from the
+  relative single-thread strength of the listed CPUs running a
+  table-lookup RS decoder (Jerasure-class, hundreds of MB/s to ~1 GB/s).
+- ``disk_read_mbps`` / ``disk_write_mbps``: sequential disk throughput
+  for the listed drive classes.
+
+Only the *relative* magnitudes matter for reproducing the paper's
+shapes (transmission dominates computation; the compute share shrinks
+as k grows); see DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.topology import ClusterTopology
+from repro.errors import ConfigurationError
+
+__all__ = ["NodeHardware", "TABLE_III_PROFILES", "HardwareModel"]
+
+_MB = 1e6
+
+
+@dataclass(frozen=True)
+class NodeHardware:
+    """Hardware profile of one server class.
+
+    Attributes:
+        name: profile label (rack name in the paper's Table III).
+        cpu_label / memory_gb / os_label / disk_label: descriptive
+            fields reproduced from Table III.
+        gf_mbps: GF(2^8) decode throughput, MB/s.
+        xor_mbps: plain-XOR throughput, MB/s (combining partially
+            decoded chunks needs no table lookups, only bitwise XOR, so
+            it runs several times faster than GF multiply-accumulate).
+        disk_read_mbps / disk_write_mbps: sequential disk rates, MB/s.
+        combine_efficiency: per-extra-input throughput gain of a wide
+            linear combination.  A ``w``-input combine amortises its
+            output writes and loop overhead over the inputs, so decoders
+            sustain ``gf_mbps * (1 + combine_efficiency * (w - 1))`` of
+            input bandwidth — the effect that makes the computation
+            share of recovery time shrink as ``k`` grows (Figure 10(a)).
+    """
+
+    name: str
+    cpu_label: str
+    memory_gb: int
+    os_label: str
+    disk_label: str
+    gf_mbps: float
+    disk_read_mbps: float
+    disk_write_mbps: float
+    xor_mbps: float = 0.0
+    combine_efficiency: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.xor_mbps == 0.0:
+            # Frozen dataclass: route the default through __setattr__.
+            object.__setattr__(self, "xor_mbps", 4.0 * self.gf_mbps)
+        for attr in ("gf_mbps", "xor_mbps", "disk_read_mbps", "disk_write_mbps"):
+            if getattr(self, attr) <= 0:
+                raise ConfigurationError(f"{attr} must be positive")
+        if self.combine_efficiency < 0:
+            raise ConfigurationError("combine_efficiency must be >= 0")
+
+    def gf_seconds(self, nbytes: float, inputs: int = 1) -> float:
+        """CPU seconds to process ``nbytes`` of GF input.
+
+        Args:
+            nbytes: total input bytes across all buffers combined.
+            inputs: how many buffers the combination has (wider combines
+                run faster per input byte; see ``combine_efficiency``).
+        """
+        speedup = 1.0 + self.combine_efficiency * max(0, inputs - 1)
+        return nbytes / (self.gf_mbps * _MB * speedup)
+
+    def xor_seconds(self, nbytes: float) -> float:
+        """CPU seconds to XOR ``nbytes`` of input."""
+        return nbytes / (self.xor_mbps * _MB)
+
+    def disk_read_seconds(self, nbytes: float) -> float:
+        """Seconds to sequentially read ``nbytes``."""
+        return nbytes / (self.disk_read_mbps * _MB)
+
+    def disk_write_seconds(self, nbytes: float) -> float:
+        """Seconds to sequentially write ``nbytes``."""
+        return nbytes / (self.disk_write_mbps * _MB)
+
+
+#: The five rack profiles of Table III, in rack order A1..A5.
+TABLE_III_PROFILES: tuple[NodeHardware, ...] = (
+    NodeHardware(
+        name="A1",
+        cpu_label="AMD Opteron 2378 Quad-Core",
+        memory_gb=16,
+        os_label="Fedora 11",
+        disk_label="1TB",
+        gf_mbps=620.0,
+        disk_read_mbps=120.0,
+        disk_write_mbps=110.0,
+    ),
+    NodeHardware(
+        name="A2",
+        cpu_label="Intel Xeon X5472 3.00GHz Quad-Core",
+        memory_gb=8,
+        os_label="SUSE Linux Enterprise Server 11",
+        disk_label="4TB",
+        gf_mbps=1150.0,
+        disk_read_mbps=150.0,
+        disk_write_mbps=140.0,
+    ),
+    NodeHardware(
+        name="A3",
+        cpu_label="Intel Xeon E5506 2.13GHz Quad-Core",
+        memory_gb=8,
+        os_label="Fedora 10",
+        disk_label="1TB",
+        gf_mbps=820.0,
+        disk_read_mbps=120.0,
+        disk_write_mbps=110.0,
+    ),
+    NodeHardware(
+        name="A4",
+        cpu_label="Intel Xeon E5420 2.50GHz Quad-Core",
+        memory_gb=4,
+        os_label="Fedora 10",
+        disk_label="300GB",
+        gf_mbps=960.0,
+        disk_read_mbps=90.0,
+        disk_write_mbps=85.0,
+    ),
+    NodeHardware(
+        name="A5",
+        cpu_label="Intel Xeon X5472 3GHz Quad-Core",
+        memory_gb=8,
+        os_label="Ubuntu 10.04.3 LTS",
+        disk_label="4TB",
+        gf_mbps=1150.0,
+        disk_read_mbps=150.0,
+        disk_write_mbps=140.0,
+    ),
+)
+
+
+class HardwareModel:
+    """Maps every node of a topology to its rack's hardware profile.
+
+    Args:
+        topology: the cluster.
+        rack_profiles: one profile per rack; defaults to Table III's
+            profiles (cycled if the topology has more racks).
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        rack_profiles: tuple[NodeHardware, ...] | None = None,
+    ) -> None:
+        profiles = (
+            TABLE_III_PROFILES if rack_profiles is None else rack_profiles
+        )
+        if not profiles:
+            raise ConfigurationError("at least one hardware profile required")
+        self.topology = topology
+        self._by_rack = {
+            rack.rack_id: profiles[rack.rack_id % len(profiles)]
+            for rack in topology.racks
+        }
+
+    def profile(self, node_id: int) -> NodeHardware:
+        """The hardware profile of one node."""
+        return self._by_rack[self.topology.rack_of(node_id)]
+
+    def rack_profile(self, rack_id: int) -> NodeHardware:
+        """The hardware profile shared by one rack's nodes."""
+        return self._by_rack[rack_id]

@@ -1,0 +1,300 @@
+"""Recovery-time simulation: plan -> task DAG -> fluid network simulation.
+
+Converts a :class:`~repro.recovery.planner.RecoveryPlan` into the task
+DAG the fluid simulator executes:
+
+- every raw chunk leaving a node is preceded by a sequential **disk
+  read** on that node (serial per-disk resource);
+- a rack delegate's **partial decode** (CPU, serial per node) waits for
+  its own read plus the intra-rack flows delivering the other chunks;
+- the delegate's **cross-rack flow** carries the partially decoded
+  chunk and waits for the decode;
+- the replacement node's **final combine** waits for everything the
+  stripe sent it, then a **disk write** persists the rebuilt chunk.
+
+The result is summarised as a :class:`RecoveryTiming` with the three
+quantities the evaluation uses: total recovery time (Figure 9),
+decoding computation time, and the network-bottleneck transmission time
+(Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.state import ClusterState
+from repro.errors import PlanError
+from repro.network.flow import SimTask, flow_task, serial_task
+from repro.network.links import FabricModel
+from repro.network.simulator import FluidNetworkSimulator, SimResult
+from repro.recovery.planner import RecoveryPlan, StripePlan
+from repro.sim.hardware import HardwareModel
+
+__all__ = ["RecoveryTiming", "RecoverySimulator", "build_tasks"]
+
+
+@dataclass(frozen=True)
+class RecoveryTiming:
+    """Timing summary of one simulated recovery.
+
+    Attributes:
+        total_time: simulated makespan, seconds (Figure 9's metric is
+            this divided by ``num_chunks``).
+        computation_time: summed CPU seconds of every decoding task
+            (partial decodes + local folds + final combines) — the
+            quantity Figure 10 tracks; CAR redistributes it across
+            delegates but barely changes its total.
+        transmission_time: network-bottleneck time — bytes through the
+            busiest link divided by its capacity; the transmission
+            component of Figure 10(a)'s breakdown.
+        disk_time: summed disk read/write seconds (not part of the
+            paper's breakdown; reported for completeness).
+        num_chunks: lost chunks recovered.
+    """
+
+    total_time: float
+    computation_time: float
+    transmission_time: float
+    disk_time: float
+    num_chunks: int
+
+    @property
+    def time_per_chunk(self) -> float:
+        """Recovery time per lost chunk (Figure 9's y-axis)."""
+        return self.total_time / self.num_chunks
+
+    @property
+    def computation_ratio(self) -> float:
+        """Computation share of the transmission+computation breakdown."""
+        denom = self.computation_time + self.transmission_time
+        return self.computation_time / denom if denom else 0.0
+
+    @property
+    def transmission_ratio(self) -> float:
+        """Transmission share of the breakdown (Figure 10(a))."""
+        return 1.0 - self.computation_ratio
+
+
+def build_tasks(
+    state: ClusterState,
+    plan: RecoveryPlan,
+    fabric: FabricModel,
+    hardware: HardwareModel,
+    chunk_size: int,
+    include_disk: bool = True,
+) -> list[SimTask]:
+    """Expand a recovery plan into the simulator's task DAG."""
+    tasks: list[SimTask] = []
+    for sp in plan.stripe_plans:
+        tasks.extend(
+            _stripe_tasks(state, plan, sp, fabric, hardware, chunk_size, include_disk)
+        )
+    return tasks
+
+
+def _stripe_tasks(
+    state: ClusterState,
+    plan: RecoveryPlan,
+    sp: StripePlan,
+    fabric: FabricModel,
+    hardware: HardwareModel,
+    chunk_size: int,
+    include_disk: bool,
+) -> list[SimTask]:
+    s = sp.stripe_id
+    repl = plan.replacement_node
+    tasks: list[SimTask] = []
+    read_ids: dict[int, str] = {}  # chunk index -> disk-read task id
+
+    def read_task(chunk: int, node: int) -> list[str]:
+        """Disk read preceding any use of a raw chunk (deduplicated)."""
+        if not include_disk:
+            return []
+        if chunk not in read_ids:
+            tid = f"s{s}:read:c{chunk}"
+            read_ids[chunk] = tid
+            tasks.append(
+                serial_task(
+                    tid,
+                    resource=("disk", node),
+                    duration=hardware.profile(node).disk_read_seconds(chunk_size),
+                    tag="disk:read",
+                )
+            )
+        return [read_ids[chunk]]
+
+    # Raw chunk flows (intra-rack to delegates / replacement, or the
+    # direct RR flows).  Partial flows are added with their decode below.
+    raw_flow_ids: dict[int, str] = {}  # chunk -> flow id
+    inbound_to_repl: list[str] = []
+    inbound_to_delegate: dict[int, list[str]] = {}
+    for t in sp.transfers:
+        if t.is_partial:
+            continue  # handled with its compute task below
+        assert t.chunk_index is not None
+        deps = read_task(t.chunk_index, t.src_node)
+        tid = f"s{s}:xfer:c{t.chunk_index}"
+        tag = "xfer:cross" if t.cross_rack else "xfer:intra"
+        tasks.append(
+            flow_task(
+                tid,
+                path=fabric.path(t.src_node, t.dst_node),
+                size_bytes=chunk_size,
+                deps=deps,
+                tag=tag,
+            )
+        )
+        raw_flow_ids[t.chunk_index] = tid
+        if t.dst_node == repl:
+            inbound_to_repl.append(tid)
+        else:
+            inbound_to_delegate.setdefault(t.dst_node, []).append(tid)
+
+    # Compute tasks.  The GF combine-efficiency width is the stripe's
+    # full decode width: CAR's pieces stream with the efficiency of the
+    # whole k-input decode they jointly implement.
+    decode_width = sum(
+        ct.input_chunks for ct in sp.compute if ct.kind in ("partial", "local")
+    )
+    final_deps: list[str] = list(inbound_to_repl)
+    partial_transfers = [t for t in sp.transfers if t.is_partial]
+    for ct in sp.compute:
+        duration = hardware.profile(ct.node).gf_seconds(
+            ct.input_chunks * chunk_size, inputs=decode_width or ct.input_chunks
+        )
+        if ct.kind == "partial":
+            rack = state.topology.rack_of(ct.node)
+            # Inputs: the delegate's own chunk reads + intra-rack flows.
+            deps: list[str] = list(inbound_to_delegate.get(ct.node, []))
+            delivered = {
+                t.chunk_index for t in sp.transfers if t.chunk_index is not None
+            }
+            for chunk in ct.chunks:
+                if chunk not in delivered:
+                    deps.extend(read_task(chunk, ct.node))
+            ctid = f"s{s}:partial:r{rack}"
+            tasks.append(
+                serial_task(
+                    ctid,
+                    resource=("cpu", ct.node),
+                    duration=duration,
+                    deps=deps,
+                    tag="compute:partial",
+                )
+            )
+            xfer = _find_partial_transfer(partial_transfers, ct.node)
+            ftid = f"s{s}:xfer:partial:r{rack}"
+            tasks.append(
+                flow_task(
+                    ftid,
+                    path=fabric.path(xfer.src_node, xfer.dst_node),
+                    size_bytes=chunk_size,
+                    deps=[ctid],
+                    tag="xfer:cross" if xfer.cross_rack else "xfer:intra",
+                )
+            )
+            final_deps.append(ftid)
+        elif ct.kind == "local":
+            ltid = f"s{s}:local-fold"
+            tasks.append(
+                serial_task(
+                    ltid,
+                    resource=("cpu", ct.node),
+                    duration=duration,
+                    deps=list(inbound_to_repl),
+                    tag="compute:local",
+                )
+            )
+            final_deps.append(ltid)
+        elif ct.kind == "final":
+            pass  # added last, below, once all deps are known
+        else:  # pragma: no cover - planner only emits the three kinds
+            raise PlanError(f"unknown compute kind {ct.kind!r}")
+
+    final = next(ct for ct in sp.compute if ct.kind == "final")
+    profile = hardware.profile(final.node)
+    final_bytes = final.input_chunks * chunk_size
+    # In an aggregated plan the final combine only XORs partially decoded
+    # buffers; in a direct plan it is a full GF decode of k raw chunks.
+    final_duration = (
+        profile.xor_seconds(final_bytes)
+        if plan.aggregated
+        else profile.gf_seconds(final_bytes)
+    )
+    ftid = f"s{s}:final"
+    tasks.append(
+        serial_task(
+            ftid,
+            resource=("cpu", final.node),
+            duration=final_duration,
+            deps=final_deps,
+            tag="compute:final",
+        )
+    )
+    if include_disk:
+        tasks.append(
+            serial_task(
+                f"s{s}:write",
+                resource=("disk", repl),
+                duration=hardware.profile(repl).disk_write_seconds(chunk_size),
+                deps=[ftid],
+                tag="disk:write",
+            )
+        )
+    return tasks
+
+
+def _find_partial_transfer(transfers, delegate: int):
+    for t in transfers:
+        if t.src_node == delegate:
+            return t
+    raise PlanError(f"no partial transfer leaves delegate {delegate}")
+
+
+class RecoverySimulator:
+    """Simulates the wall-clock timing of a recovery plan."""
+
+    def __init__(
+        self,
+        state: ClusterState,
+        hardware: HardwareModel | None = None,
+        include_disk: bool = True,
+    ) -> None:
+        self.state = state
+        self.fabric = FabricModel(state.topology)
+        self.hardware = hardware or HardwareModel(state.topology)
+        self.include_disk = include_disk
+
+    def simulate(self, plan: RecoveryPlan, chunk_size: int) -> RecoveryTiming:
+        """Run the fluid simulation and summarise its timing."""
+        tasks = build_tasks(
+            self.state, plan, self.fabric, self.hardware, chunk_size,
+            include_disk=self.include_disk,
+        )
+        sim = FluidNetworkSimulator(self.fabric)
+        result = sim.run(tasks)
+        return self._summarise(result, plan)
+
+    def _summarise(self, result: SimResult, plan: RecoveryPlan) -> RecoveryTiming:
+        compute = sum(
+            v
+            for tag, v in result.busy_time_by_tag.items()
+            if tag.startswith("compute:")
+        )
+        disk = sum(
+            v
+            for tag, v in result.busy_time_by_tag.items()
+            if tag.startswith("disk:")
+        )
+        transmission = 0.0
+        for link_id, nbytes in result.link_bytes.items():
+            transmission = max(
+                transmission, nbytes / self.fabric.link(link_id).capacity
+            )
+        return RecoveryTiming(
+            total_time=result.makespan,
+            computation_time=compute,
+            transmission_time=transmission,
+            disk_time=disk,
+            num_chunks=len(plan.stripe_plans),
+        )

@@ -1,0 +1,17 @@
+"""Workload substrate: failure traces and long-horizon replay."""
+
+from repro.workloads.longrun import EventOutcome, LongRunReport, LongRunSimulator
+from repro.workloads.traces import (
+    FailureEventSpec,
+    FailureTrace,
+    FailureTraceGenerator,
+)
+
+__all__ = [
+    "FailureEventSpec",
+    "FailureTrace",
+    "FailureTraceGenerator",
+    "EventOutcome",
+    "LongRunReport",
+    "LongRunSimulator",
+]

@@ -1,0 +1,131 @@
+"""Tests for the cut-set bound and trade-off points."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import (
+    cut_set_capacity,
+    is_feasible,
+    mbr_point,
+    msr_point,
+    tradeoff_curve,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCornerPoints:
+    def test_msr_matches_pm_construction(self):
+        """For d = 2k-2: alpha = B/k = k-1 with B = k(k-1); gamma = 2(k-1)
+        — exactly the PM-MSR code's numbers."""
+        k = 4
+        B = k * (k - 1)
+        pt = msr_point(B, n=10, k=k, d=2 * k - 2)
+        assert pt.alpha == pytest.approx(k - 1)
+        assert pt.gamma == pytest.approx(2 * (k - 1))
+
+    def test_msr_gamma_below_rs(self):
+        """MSR repairs cheaper than whole-file download for d > k."""
+        pt = msr_point(12.0, n=10, k=4, d=6)
+        assert pt.gamma < 12.0
+
+    def test_mbr_alpha_equals_gamma(self):
+        pt = mbr_point(12.0, n=10, k=4, d=6)
+        assert pt.alpha == pt.gamma
+
+    def test_mbr_gamma_below_msr_gamma(self):
+        msr = msr_point(12.0, n=10, k=4, d=6)
+        mbr = mbr_point(12.0, n=10, k=4, d=6)
+        assert mbr.gamma <= msr.gamma
+        assert mbr.alpha >= msr.alpha
+
+    def test_d_equals_k_degenerates_to_rs(self):
+        """With d = k the MSR point's repair equals the file size
+        (no regeneration benefit) — the RS baseline."""
+        pt = msr_point(12.0, n=10, k=4, d=4)
+        assert pt.gamma == pytest.approx(12.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            msr_point(1.0, n=4, k=4, d=4)  # k must be <= n-1
+        with pytest.raises(ConfigurationError):
+            msr_point(1.0, n=10, k=4, d=3)  # d >= k
+
+
+class TestCutSet:
+    def test_capacity_formula(self):
+        # k=2, d=3, alpha=2, beta=1: min(2,3) + min(2,2) = 4
+        assert cut_set_capacity(2.0, 1.0, k=2, d=3) == pytest.approx(4.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cut_set_capacity(-1.0, 1.0, k=2, d=3)
+
+    def test_corner_points_are_feasible_and_tight(self):
+        B, n, k, d = 12.0, 10, 4, 6
+        for pt in (msr_point(B, n, k, d), mbr_point(B, n, k, d)):
+            assert is_feasible(B, pt.alpha, pt.gamma, k, d)
+            # Shrinking either coordinate by 5 % breaks feasibility.
+            assert not is_feasible(B, pt.alpha * 0.95, pt.gamma * 0.95, k, d)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(2, 6),
+        st.integers(0, 4),
+        st.floats(1.0, 50.0),
+    )
+    def test_msr_always_feasible(self, k, extra_d, file_size):
+        d = k + extra_d
+        n = d + 2
+        pt = msr_point(file_size, n, k, d)
+        assert is_feasible(file_size, pt.alpha, pt.gamma, k, d)
+
+
+class TestCurve:
+    def test_endpoints_are_corners(self):
+        B, n, k, d = 12.0, 10, 4, 6
+        curve = tradeoff_curve(B, n, k, d, points=5)
+        msr = msr_point(B, n, k, d)
+        mbr = mbr_point(B, n, k, d)
+        assert curve[0].alpha == pytest.approx(msr.alpha)
+        assert curve[-1].alpha == pytest.approx(mbr.alpha)
+        assert curve[0].gamma == pytest.approx(msr.gamma, rel=1e-6)
+        assert curve[-1].gamma == pytest.approx(mbr.gamma, rel=1e-6)
+
+    def test_gamma_monotone_decreasing_in_alpha(self):
+        curve = tradeoff_curve(12.0, 10, 4, 6, points=8)
+        gammas = [p.gamma for p in curve]
+        for a, b in zip(gammas, gammas[1:]):
+            assert b <= a + 1e-6
+
+    def test_too_few_points(self):
+        with pytest.raises(ConfigurationError):
+            tradeoff_curve(1.0, 10, 4, 6, points=1)
+
+
+class TestLandscape:
+    def test_landscape_shape(self):
+        from repro.analysis.landscape import repair_landscape
+        from repro.experiments.configs import CFS1
+
+        rows = repair_landscape(CFS1, runs=2, num_stripes=20)
+        by_scheme = {r.scheme: r for r in rows}
+        rr = by_scheme["RS + RR"]
+        car = by_scheme["RS + CAR"]
+        # CAR reduces cross-rack traffic at equal total/overhead.
+        assert car.cross_rack_chunks < rr.cross_rack_chunks
+        assert car.total_chunks == rr.total_chunks
+        # LRC: zero cross-rack with aligned groups, more storage.
+        lrc = next(r for r in rows if r.scheme.startswith("LRC"))
+        assert lrc.cross_rack_chunks == 0.0
+        assert lrc.storage_overhead > car.storage_overhead
+        # MSR: total repair traffic 2 chunks.
+        msr = next(r for r in rows if r.scheme.startswith("PM-MSR"))
+        assert msr.total_chunks == pytest.approx(2.0)
+
+    def test_landscape_validates_lrc_groups(self):
+        from repro.analysis.landscape import repair_landscape
+        from repro.experiments.configs import CFS1
+
+        with pytest.raises(ConfigurationError):
+            repair_landscape(CFS1, lrc_groups=3)  # 3 does not divide 4

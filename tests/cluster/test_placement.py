@@ -1,0 +1,151 @@
+"""Tests for chunk placement policies, including rack fault tolerance."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.placement import (
+    FlatPlacementPolicy,
+    Placement,
+    RandomPlacementPolicy,
+    RoundRobinPlacementPolicy,
+)
+from repro.cluster.topology import ClusterTopology
+from repro.errors import ConfigurationError, PlacementError
+
+
+@pytest.fixture
+def topo():
+    return ClusterTopology.from_rack_sizes([4, 3, 3, 3])
+
+
+class TestPlacementObject:
+    def test_queries(self, topo):
+        placement = RoundRobinPlacementPolicy().place(topo, 2, 4, 3)
+        assert placement.num_stripes == 2
+        layout = placement.stripe_layout(0)
+        assert sorted(layout) == list(range(7))
+        node = placement.node_of(0, 0)
+        assert (0, 0) in placement.chunks_on_node(node)
+        assert placement.rack_of_chunk(0, 0) == topo.rack_of(node)
+
+    def test_rack_counts_sum_to_stripe_width(self, topo):
+        placement = RandomPlacementPolicy(rng=5).place(topo, 5, 6, 3)
+        for s in range(5):
+            assert sum(placement.rack_counts(s)) == 9
+
+    def test_missing_chunk_raises(self, topo):
+        placement = RoundRobinPlacementPolicy().place(topo, 1, 4, 3)
+        with pytest.raises(PlacementError):
+            placement.node_of(0, 7)
+        with pytest.raises(PlacementError):
+            placement.node_of(5, 0)
+
+    def test_incomplete_stripe_rejected(self, topo):
+        with pytest.raises(PlacementError):
+            Placement(topo, 2, 1, {(0, 0): 0, (0, 1): 1})  # missing chunk 2
+
+    def test_colocated_chunks_rejected(self, topo):
+        with pytest.raises(PlacementError):
+            Placement(topo, 1, 1, {(0, 0): 0, (0, 1): 0})
+
+    def test_sparse_stripe_ids_rejected(self, topo):
+        assignment = {(1, c): c for c in range(3)}
+        with pytest.raises(PlacementError):
+            Placement(topo, 2, 1, assignment)
+
+    def test_iter_chunks(self, topo):
+        placement = RoundRobinPlacementPolicy().place(topo, 1, 2, 1)
+        assert len(list(placement.iter_chunks())) == 3
+
+
+class TestRandomPolicy:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_always_rack_fault_tolerant(self, seed):
+        """The paper's constraint: c_{i,j} <= m for every rack and stripe."""
+        topo = ClusterTopology.from_rack_sizes([4, 3, 3, 3])
+        placement = RandomPlacementPolicy(rng=seed).place(topo, 10, 6, 3)
+        assert placement.is_rack_fault_tolerant()
+        assert placement.max_rack_colocation() <= 3
+
+    def test_accepts_random_instance(self, topo):
+        policy = RandomPlacementPolicy(rng=random.Random(1))
+        assert policy.place(topo, 1, 4, 3).num_stripes == 1
+
+    def test_reproducible(self, topo):
+        a = RandomPlacementPolicy(rng=7).place(topo, 5, 6, 3)
+        b = RandomPlacementPolicy(rng=7).place(topo, 5, 6, 3)
+        assert dict(a.iter_chunks()) == dict(b.iter_chunks())
+
+    def test_stripe_too_wide_rejected(self, topo):
+        with pytest.raises(PlacementError):
+            RandomPlacementPolicy(rng=1).place(topo, 1, 12, 3)
+
+    def test_infeasible_rack_constraint_rejected(self):
+        # 2 racks, per-rack cap m=2, stripe width 6 > 2*2.
+        topo = ClusterTopology.from_rack_sizes([5, 5])
+        with pytest.raises(PlacementError):
+            RandomPlacementPolicy(rng=1).place(topo, 1, 4, 2)
+
+    def test_rack_tolerance_two(self):
+        """rho=2: per-rack cap m//2 so any two racks can fail."""
+        topo = ClusterTopology.from_rack_sizes([3, 3, 3, 3, 3])
+        policy = RandomPlacementPolicy(rng=3, rack_tolerance=2)
+        placement = policy.place(topo, 5, 4, 4)
+        assert placement.max_rack_colocation() <= 2
+
+    def test_rack_tolerance_infeasible(self):
+        topo = ClusterTopology.from_rack_sizes([3, 3, 3])
+        policy = RandomPlacementPolicy(rng=3, rack_tolerance=4)
+        with pytest.raises(PlacementError):
+            policy.place(topo, 1, 2, 2)
+
+    def test_invalid_rack_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            RandomPlacementPolicy(rack_tolerance=0)
+
+    def test_constructive_fallback(self):
+        """With max_attempts=0 sampling never succeeds; the constructive
+        path must still produce a valid fault-tolerant placement."""
+        topo = ClusterTopology.from_rack_sizes([4, 3, 3, 3])
+        policy = RandomPlacementPolicy(rng=2, max_attempts=0)
+        placement = policy.place(topo, 10, 6, 3)
+        assert placement.is_rack_fault_tolerant()
+
+
+class TestRoundRobinPolicy:
+    def test_deterministic(self, topo):
+        a = RoundRobinPlacementPolicy().place(topo, 4, 6, 3)
+        b = RoundRobinPlacementPolicy().place(topo, 4, 6, 3)
+        assert dict(a.iter_chunks()) == dict(b.iter_chunks())
+
+    def test_rack_fault_tolerant(self, topo):
+        placement = RoundRobinPlacementPolicy().place(topo, 10, 6, 3)
+        assert placement.is_rack_fault_tolerant()
+
+    def test_every_node_used(self, topo):
+        """Round-robin touches every node (the rack cap skips the same
+        node repeatedly on aligned cycles, so perfect balance is not
+        guaranteed — only coverage)."""
+        placement = RoundRobinPlacementPolicy().place(topo, 13, 6, 3)
+        counts = [
+            len(placement.chunks_on_node(n.node_id)) for n in topo.nodes
+        ]
+        assert min(counts) >= 1
+        assert sum(counts) == 13 * 9
+
+
+class TestFlatPolicy:
+    def test_places_all_chunks(self, topo):
+        placement = FlatPlacementPolicy(rng=4).place(topo, 5, 6, 3)
+        assert placement.num_stripes == 5
+
+    def test_may_violate_rack_constraint_eventually(self):
+        """Flat placement ignores the rack cap; over many stripes on a
+        lopsided topology it concentrates more than m chunks per rack."""
+        topo = ClusterTopology.from_rack_sizes([8, 2])
+        placement = FlatPlacementPolicy(rng=0).place(topo, 50, 6, 2)
+        assert placement.max_rack_colocation() > 2

@@ -1,0 +1,149 @@
+"""Tests for cluster state, data store, and stripe views."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.placement import RandomPlacementPolicy, RoundRobinPlacementPolicy
+from repro.cluster.state import ClusterState, DataStore
+from repro.cluster.topology import ClusterTopology
+from repro.erasure.rs import RSCode
+from repro.errors import (
+    NoFailureError,
+    PlacementError,
+    UnknownChunkError,
+    UnknownNodeError,
+)
+
+
+class TestDataStore:
+    def test_stripes_are_consistent(self, rs63):
+        store = DataStore(rs63, 3, chunk_size=256, seed=1)
+        for s in range(3):
+            chunks = {i: store.chunk(s, i) for i in range(rs63.n)}
+            # Any k chunks decode back to the stored data chunks.
+            decoded = rs63.decode({i: chunks[i] for i in range(3, 9)})
+            for i, buf in enumerate(decoded):
+                assert np.array_equal(buf, chunks[i])
+
+    def test_deterministic_by_seed(self, rs63):
+        a = DataStore(rs63, 1, 64, seed=9)
+        b = DataStore(rs63, 1, 64, seed=9)
+        assert np.array_equal(a.chunk(0, 0), b.chunk(0, 0))
+
+    def test_unknown_chunk(self, rs63):
+        store = DataStore(rs63, 1, 64)
+        with pytest.raises(UnknownChunkError):
+            store.chunk(5, 0)
+
+    def test_matches(self, rs63):
+        store = DataStore(rs63, 1, 64)
+        assert store.matches(0, 0, store.chunk(0, 0))
+        assert not store.matches(0, 0, store.chunk(0, 1))
+
+    def test_gf16_chunks(self):
+        code = RSCode(3, 2, w=16)
+        store = DataStore(code, 1, chunk_size=64)
+        assert store.chunk(0, 0).dtype == np.uint16
+        assert store.chunk(0, 0).nbytes == 64
+
+
+class TestStateConstruction:
+    def test_mismatched_code_rejected(self, small_topology):
+        code = RSCode(6, 3)
+        placement = RoundRobinPlacementPolicy().place(small_topology, 2, 4, 3)
+        with pytest.raises(PlacementError):
+            ClusterState(small_topology, code, placement)
+
+    def test_mismatched_topology_rejected(self, rs63, small_topology):
+        other = ClusterTopology.from_rack_sizes([4, 3, 3, 3])
+        placement = RoundRobinPlacementPolicy().place(other, 2, 6, 3)
+        with pytest.raises(PlacementError):
+            ClusterState(small_topology, rs63, placement)
+
+    def test_short_data_store_rejected(self, rs63, small_topology):
+        placement = RoundRobinPlacementPolicy().place(small_topology, 5, 6, 3)
+        data = DataStore(rs63, 2, 64)
+        with pytest.raises(PlacementError):
+            ClusterState(small_topology, rs63, placement, data)
+
+
+class TestFailures:
+    def test_fail_node_reports_lost_chunks(self, small_state):
+        node = small_state.placement.node_of(0, 0)
+        event = small_state.fail_node(node)
+        assert event.failed_node == node
+        assert (0, 0) in event.lost_chunks
+        assert event.replacement_node == node
+        assert event.failed_rack == small_state.topology.rack_of(node)
+
+    def test_one_stripe_loses_at_most_one_chunk(self, small_state):
+        event = small_state.fail_node(0)
+        assert len(set(event.stripes)) == len(event.stripes)
+
+    def test_double_failure_rejected(self, small_state):
+        small_state.fail_node(0)
+        with pytest.raises(NoFailureError):
+            small_state.fail_node(1)
+
+    def test_refailing_same_node_is_idempotent(self, small_state):
+        a = small_state.fail_node(0)
+        b = small_state.fail_node(0)
+        assert a.lost_chunks == b.lost_chunks
+
+    def test_heal_allows_new_failure(self, small_state):
+        small_state.fail_node(0)
+        small_state.heal()
+        small_state.fail_node(1)
+
+    def test_unknown_node_rejected(self, small_state):
+        with pytest.raises(UnknownNodeError):
+            small_state.fail_node(999)
+
+
+class TestStripeView:
+    def test_requires_failure(self, small_state):
+        with pytest.raises(NoFailureError):
+            small_state.stripe_view(0)
+        with pytest.raises(NoFailureError):
+            small_state.affected_stripes()
+
+    def test_view_consistency(self, failed_state):
+        for view in failed_state.views():
+            # rack_counts is the survivors-per-rack histogram.
+            assert sum(view.rack_counts) == failed_state.code.n - 1
+            assert view.lost_chunk not in view.surviving
+            assert len(view.surviving) == failed_state.code.n - 1
+            assert view.failed_rack == failed_state.topology.rack_of(
+                failed_state.failed_node
+            )
+
+    def test_unaffected_stripe_rejected(self, small_state):
+        small_state.fail_node(0)
+        unaffected = [
+            s
+            for s in range(small_state.placement.num_stripes)
+            if s not in small_state.affected_stripes()
+        ]
+        if unaffected:  # layout-dependent; usually non-empty
+            with pytest.raises(UnknownChunkError):
+                small_state.stripe_view(unaffected[0])
+
+    def test_chunks_in_rack(self, failed_state):
+        view = failed_state.views()[0]
+        topo = failed_state.topology
+        for rack in range(topo.num_racks):
+            chunks = view.chunks_in_rack(rack, topo)
+            assert len(chunks) == view.rack_counts[rack]
+            for c in chunks:
+                assert topo.rack_of(view.surviving[c]) == rack
+
+    def test_failed_rack_counts_exclude_lost_chunk(self, rs63):
+        """c'_{f,j} = c_{f,j} - 1 when the failed node held a chunk (Eq. 1)."""
+        topo = ClusterTopology.from_rack_sizes([4, 3, 3, 3])
+        placement = RandomPlacementPolicy(rng=0).place(topo, 10, 6, 3)
+        state = ClusterState(topo, rs63, placement)
+        node = placement.node_of(0, 0)
+        state.fail_node(node)
+        view = state.stripe_view(0)
+        f = topo.rack_of(node)
+        assert view.rack_counts[f] == placement.rack_chunk_count(f, 0) - 1

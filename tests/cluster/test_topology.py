@@ -1,0 +1,91 @@
+"""Tests for the cluster topology model."""
+
+import pytest
+
+from repro.cluster.topology import BandwidthProfile, ClusterTopology, Node, Rack
+from repro.errors import ConfigurationError, UnknownNodeError
+
+
+class TestBandwidthProfile:
+    def test_defaults(self):
+        bw = BandwidthProfile()
+        assert bw.node_nic_gbps == 1.0
+        assert bw.core_gbps == float("inf")
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthProfile(node_nic_gbps=0)
+        with pytest.raises(ConfigurationError):
+            BandwidthProfile(rack_uplink_gbps=-1)
+
+    def test_oversubscription(self):
+        bw = BandwidthProfile(node_nic_gbps=1.0, rack_uplink_gbps=0.25)
+        assert bw.oversubscription == 4.0
+
+
+class TestConstruction:
+    def test_from_rack_sizes(self):
+        topo = ClusterTopology.from_rack_sizes([4, 3, 3])
+        assert topo.num_racks == 3
+        assert topo.num_nodes == 10
+        assert topo.rack_sizes() == (4, 3, 3)
+
+    def test_node_ids_dense_and_ordered(self):
+        topo = ClusterTopology.from_rack_sizes([2, 2])
+        assert [n.node_id for n in topo.nodes] == [0, 1, 2, 3]
+        assert topo.rack_of(0) == 0
+        assert topo.rack_of(3) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterTopology.from_rack_sizes([])
+
+    def test_zero_rack_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterTopology.from_rack_sizes([3, 0])
+
+    def test_inconsistent_manual_construction_rejected(self):
+        nodes = [Node(0, 0, 0)]
+        racks = [Rack(0, (0,)), Rack(1, (0,))]
+        with pytest.raises(ConfigurationError):
+            ClusterTopology(racks, nodes)
+
+    def test_duplicate_node_ids_rejected(self):
+        nodes = [Node(0, 0, 0), Node(0, 0, 1)]
+        racks = [Rack(0, (0,))]
+        with pytest.raises(ConfigurationError):
+            ClusterTopology(racks, nodes)
+
+
+class TestQueries:
+    @pytest.fixture
+    def topo(self):
+        return ClusterTopology.from_rack_sizes([4, 3, 3])
+
+    def test_rack_of_unknown(self, topo):
+        with pytest.raises(UnknownNodeError):
+            topo.rack_of(99)
+
+    def test_node_lookup(self, topo):
+        assert topo.node(5).rack_id == 1
+        with pytest.raises(UnknownNodeError):
+            topo.node(-1)
+
+    def test_rack_lookup(self, topo):
+        assert topo.rack(0).size == 4
+        with pytest.raises(UnknownNodeError):
+            topo.rack(3)
+
+    def test_nodes_in_rack(self, topo):
+        assert topo.nodes_in_rack(0) == (0, 1, 2, 3)
+        assert topo.nodes_in_rack(2) == (7, 8, 9)
+
+    def test_peers_in_rack(self, topo):
+        assert topo.peers_in_rack(0) == (1, 2, 3)
+
+    def test_names_are_paper_style(self, topo):
+        assert topo.rack(0).name == "A1"
+        assert topo.node(0).name == "A1.n0"
+
+    def test_repr(self, topo):
+        assert "racks=(4, 3, 3)" in repr(topo)

@@ -1,0 +1,109 @@
+"""Tests for the replication-to-erasure-coding transition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.cluster.transition import (
+    RackAwareTransition,
+    RandomTransition,
+    ReplicatedStore,
+)
+from repro.errors import ClusterError, ConfigurationError
+
+
+@pytest.fixture
+def topo():
+    return ClusterTopology.from_rack_sizes([4, 3, 3, 3, 3])
+
+
+class TestReplicatedStore:
+    def test_replicas_in_distinct_racks(self, topo):
+        store = ReplicatedStore(topo, num_blocks=40, rng=1)
+        for block in store.blocks:
+            racks = store.replica_racks(block)
+            assert len(racks) == block.replication == 3
+
+    def test_replication_validated(self, topo):
+        with pytest.raises(ConfigurationError):
+            ReplicatedStore(topo, 5, replication=0)
+        with pytest.raises(ConfigurationError):
+            ReplicatedStore(topo, 5, replication=6)  # > 5 racks
+
+    def test_reproducible(self, topo):
+        a = ReplicatedStore(topo, 10, rng=7)
+        b = ReplicatedStore(topo, 10, rng=7)
+        assert [x.replica_nodes for x in a.blocks] == [
+            x.replica_nodes for x in b.blocks
+        ]
+
+
+class TestTransitionPlans:
+    def test_full_groups_only(self, topo):
+        store = ReplicatedStore(topo, num_blocks=25, rng=2)
+        plan = RackAwareTransition(k=6, m=3).plan(store)
+        assert plan.stripes == 4  # 25 // 6
+
+    def test_storage_reclaimed(self, topo):
+        store = ReplicatedStore(topo, num_blocks=24, rng=2)
+        plan = RackAwareTransition(k=6, m=3).plan(store)
+        # Per stripe: 6 blocks * 2 surplus copies - 3 parities = 9.
+        assert plan.storage_reclaimed_chunks == plan.stripes * 9
+
+    def test_parity_spread_feasibility_checked(self):
+        topo = ClusterTopology.from_rack_sizes([4, 4])
+        store = ReplicatedStore(topo, 12, replication=2, rng=1)
+        with pytest.raises(ClusterError):
+            RackAwareTransition(k=4, m=2).plan(store)
+
+    def test_invalid_km(self):
+        with pytest.raises(ConfigurationError):
+            RackAwareTransition(k=0, m=1)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_rack_aware_never_worse_than_random(self, seed):
+        """The cited paper's claim, as an invariant."""
+        topo = ClusterTopology.from_rack_sizes([4, 3, 3, 3, 3])
+        store = ReplicatedStore(topo, num_blocks=36, rng=seed)
+        aware = RackAwareTransition(k=6, m=3).plan(store)
+        blind = RandomTransition(k=6, m=3, rng=seed).plan(store)
+        assert (
+            aware.total_cross_rack_chunks <= blind.total_cross_rack_chunks
+        )
+
+    def test_rack_aware_strictly_better_on_average(self, topo):
+        aware_total = blind_total = 0
+        for seed in range(10):
+            store = ReplicatedStore(topo, num_blocks=36, rng=seed)
+            aware_total += RackAwareTransition(6, 3).plan(
+                store
+            ).total_cross_rack_chunks
+            blind_total += RandomTransition(6, 3, rng=seed).plan(
+                store
+            ).total_cross_rack_chunks
+        assert aware_total < blind_total
+
+    def test_encoder_rack_has_most_replicas(self, topo):
+        store = ReplicatedStore(topo, num_blocks=12, rng=3)
+        transition = RackAwareTransition(k=6, m=3)
+        plan = transition.plan(store)
+        for idx, rack in enumerate(plan.encoder_racks):
+            group = store.blocks[idx * 6 : (idx + 1) * 6]
+            chosen_local = sum(
+                1 for b in group if rack in store.replica_racks(b)
+            )
+            for other in range(topo.num_racks):
+                other_local = sum(
+                    1 for b in group if other in store.replica_racks(b)
+                )
+                assert chosen_local >= other_local
+
+    def test_traffic_decomposition(self, topo):
+        store = ReplicatedStore(topo, num_blocks=18, rng=4)
+        plan = RackAwareTransition(k=6, m=3).plan(store)
+        assert plan.total_cross_rack_chunks == (
+            plan.cross_rack_block_fetches + plan.cross_rack_parity_sends
+        )
+        assert plan.cross_rack_parity_sends == plan.stripes * 3

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster.placement import RandomPlacementPolicy
+from repro.cluster.state import ClusterState, DataStore
+from repro.cluster.topology import ClusterTopology
+from repro.erasure.rs import RSCode
+
+
+@pytest.fixture
+def rs63() -> RSCode:
+    """The Google-Colossus (6, 3) RS code."""
+    return RSCode(6, 3)
+
+
+@pytest.fixture
+def small_topology() -> ClusterTopology:
+    """Four racks of 4/3/3/3 nodes (the paper's CFS2 layout)."""
+    return ClusterTopology.from_rack_sizes([4, 3, 3, 3])
+
+
+@pytest.fixture
+def small_state(rs63: RSCode, small_topology: ClusterTopology) -> ClusterState:
+    """A 20-stripe CFS2-like cluster with real data, no failure yet."""
+    placement = RandomPlacementPolicy(rng=random.Random(11)).place(
+        small_topology, 20, rs63.k, rs63.m
+    )
+    data = DataStore(rs63, 20, chunk_size=512, seed=3)
+    return ClusterState(small_topology, rs63, placement, data)
+
+
+@pytest.fixture
+def failed_state(small_state: ClusterState) -> ClusterState:
+    """``small_state`` with a deterministic failed node."""
+    # Node 0 stores chunks with very high probability at 20 stripes; pick
+    # the first node that actually stores something to stay deterministic.
+    for node in small_state.topology.nodes:
+        if small_state.placement.chunks_on_node(node.node_id):
+            small_state.fail_node(node.node_id)
+            return small_state
+    raise AssertionError("no node stores any chunk")

@@ -1,0 +1,64 @@
+"""Tests for the ErasureCode ABC's default behaviour.
+
+A minimal replication "code" implements the interface to prove that the
+recovery machinery only relies on the documented contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.erasure.code import ErasureCode
+
+
+class ReplicationCode(ErasureCode):
+    """(k=1, m) replication expressed as a linear code: every chunk is a
+    copy, so any single helper repairs with coefficient vector [1]."""
+
+    def __init__(self, m: int = 2) -> None:
+        self.k = 1
+        self.m = m
+        self.w = 8
+
+    def encode(self, data_chunks):
+        (chunk,) = data_chunks
+        return [chunk.copy() for _ in range(self.m)]
+
+    def decode(self, available):
+        first = available[sorted(available)[0]]
+        return [first.copy()]
+
+    def repair_vector(self, lost_index, helper_indices):
+        assert len(helper_indices) == 1
+        return [1]
+
+
+class TestInterface:
+    def test_n(self):
+        assert ReplicationCode(m=2).n == 3
+
+    def test_default_reconstruct_uses_repair_vector(self):
+        code = ReplicationCode(m=2)
+        chunk = np.arange(16, dtype=np.uint8)
+        stripe = [chunk] + code.encode([chunk])
+        rebuilt = code.reconstruct(0, {1: stripe[1]})
+        assert np.array_equal(rebuilt, chunk)
+
+    def test_repr(self):
+        assert "ReplicationCode(k=1, m=2, w=8)" == repr(ReplicationCode(2))
+
+    def test_works_with_partial_decode_machinery(self):
+        from repro.erasure.repair import (
+            combine_partials,
+            execute_partial_decode,
+            split_repair_vector,
+        )
+
+        code = ReplicationCode(m=2)
+        chunk = np.arange(8, dtype=np.uint8)
+        plan = split_repair_vector(code, 0, [2], {2: "rackX"})
+        partials = execute_partial_decode(code, plan, {2: chunk})
+        assert np.array_equal(combine_partials(code, partials), chunk)
+
+    def test_abstract_methods_required(self):
+        with pytest.raises(TypeError):
+            ErasureCode()  # type: ignore[abstract]

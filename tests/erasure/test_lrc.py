@@ -1,0 +1,212 @@
+"""Tests for Local Reconstruction Codes."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    CodingError,
+    InsufficientChunksError,
+    InvalidCodeParametersError,
+)
+from repro.erasure.lrc import LRCCode
+
+
+def make_stripe(code, seed=0, size=64):
+    rng = np.random.default_rng(seed)
+    data = [rng.integers(0, 256, size, dtype=np.uint8) for _ in range(code.k)]
+    return data, code.encode_stripe(data)
+
+
+@pytest.fixture(scope="module")
+def lrc622():
+    return LRCCode(k=6, l=2, g=2)
+
+
+@pytest.fixture(scope="module")
+def stripe622(lrc622):
+    return make_stripe(lrc622, seed=3)
+
+
+class TestParameters:
+    def test_layout(self, lrc622):
+        assert lrc622.n == 10
+        assert lrc622.m == 4
+        assert lrc622.group_size == 3
+        assert lrc622.storage_overhead() == pytest.approx(10 / 6)
+
+    def test_k_must_divide(self):
+        with pytest.raises(InvalidCodeParametersError):
+            LRCCode(k=7, l=2, g=2)
+
+    def test_invalid_params(self):
+        with pytest.raises(InvalidCodeParametersError):
+            LRCCode(k=0, l=1, g=1)
+        with pytest.raises(InvalidCodeParametersError):
+            LRCCode(k=4, l=2, g=-1)
+
+    def test_too_big_for_field(self):
+        with pytest.raises(InvalidCodeParametersError):
+            LRCCode(k=250, l=5, g=10, w=8)
+
+    def test_azure_config(self):
+        """Azure's LRC(12, 2, 2): 14 chunks, 1.167x overhead."""
+        azure = LRCCode(k=12, l=2, g=2)
+        assert azure.n == 16
+        assert azure.storage_overhead() == pytest.approx(16 / 12)
+
+
+class TestStructure:
+    def test_group_of(self, lrc622):
+        assert lrc622.group_of(0) == 0
+        assert lrc622.group_of(2) == 0
+        assert lrc622.group_of(3) == 1
+        assert lrc622.group_of(6) == 0  # local parity 0
+        assert lrc622.group_of(7) == 1  # local parity 1
+        assert lrc622.group_of(8) is None  # global
+        with pytest.raises(CodingError):
+            lrc622.group_of(10)
+
+    def test_group_members(self, lrc622):
+        assert lrc622.group_members(0) == (0, 1, 2)
+        assert lrc622.group_members(1) == (3, 4, 5)
+        with pytest.raises(CodingError):
+            lrc622.group_members(2)
+
+    def test_local_parity_index(self, lrc622):
+        assert lrc622.local_parity_index(0) == 6
+        assert lrc622.local_parity_index(1) == 7
+
+    def test_is_global_parity(self, lrc622):
+        assert not lrc622.is_global_parity(5)
+        assert not lrc622.is_global_parity(7)
+        assert lrc622.is_global_parity(8)
+        assert lrc622.is_global_parity(9)
+
+    def test_minimal_helpers(self, lrc622):
+        assert lrc622.minimal_repair_helpers(0) == (1, 2, 6)
+        assert lrc622.minimal_repair_helpers(6) == (0, 1, 2)
+        assert lrc622.minimal_repair_helpers(8) == (0, 1, 2, 3, 4, 5)
+
+
+class TestEncoding:
+    def test_local_parity_is_group_xor(self, lrc622, stripe622):
+        _, stripe = stripe622
+        assert np.array_equal(stripe[6], stripe[0] ^ stripe[1] ^ stripe[2])
+        assert np.array_equal(stripe[7], stripe[3] ^ stripe[4] ^ stripe[5])
+
+    def test_systematic(self, lrc622, stripe622):
+        data, stripe = stripe622
+        for i in range(6):
+            assert np.array_equal(stripe[i], data[i])
+
+    def test_encode_wrong_count(self, lrc622):
+        with pytest.raises(CodingError):
+            lrc622.encode([np.zeros(4, dtype=np.uint8)] * 5)
+
+
+class TestRepair:
+    def test_every_chunk_locally_repairable(self, lrc622, stripe622):
+        _, stripe = stripe622
+        for lost in range(lrc622.n):
+            helpers = lrc622.minimal_repair_helpers(lost)
+            rebuilt = lrc622.reconstruct(
+                lost, {i: stripe[i] for i in helpers}
+            )
+            assert np.array_equal(rebuilt, stripe[lost]), lost
+
+    def test_data_repair_needs_only_group_size_helpers(self, lrc622):
+        assert len(lrc622.minimal_repair_helpers(0)) == lrc622.group_size
+
+    def test_repair_vector_for_local_is_all_ones(self, lrc622):
+        y = lrc622.repair_vector(0, [1, 2, 6])
+        assert y == [1, 1, 1]
+
+    def test_repair_with_insufficient_span_rejected(self, lrc622):
+        # Chunk 0 cannot be derived from group 1's chunks alone.
+        with pytest.raises(InsufficientChunksError):
+            lrc622.repair_vector(0, [3, 4, 5, 7])
+
+    def test_repair_rejects_lost_in_helpers(self, lrc622):
+        with pytest.raises(CodingError):
+            lrc622.repair_vector(0, [0, 1, 2])
+
+    def test_repair_rejects_duplicates(self, lrc622):
+        with pytest.raises(CodingError):
+            lrc622.repair_vector(0, [1, 1, 6])
+
+    def test_repair_with_larger_sets_also_works(self, lrc622, stripe622):
+        _, stripe = stripe622
+        helpers = [1, 2, 3, 4, 5, 7, 8]
+        rebuilt = lrc622.reconstruct(0, {i: stripe[i] for i in helpers})
+        assert np.array_equal(rebuilt, stripe[0])
+
+
+class TestDecode:
+    def test_all_single_erasures(self, lrc622, stripe622):
+        data, stripe = stripe622
+        for lost in range(lrc622.n):
+            avail = {i: stripe[i] for i in range(lrc622.n) if i != lost}
+            decoded = lrc622.decode(avail)
+            for got, want in zip(decoded, data):
+                assert np.array_equal(got, want)
+
+    def test_all_double_erasures(self, lrc622, stripe622):
+        data, stripe = stripe622
+        for erased in itertools.combinations(range(lrc622.n), 2):
+            avail = {i: stripe[i] for i in range(lrc622.n) if i not in erased}
+            assert lrc622.is_recoverable(list(avail))
+            decoded = lrc622.decode(avail)
+            for got, want in zip(decoded, data):
+                assert np.array_equal(got, want), erased
+
+    def test_unrecoverable_pattern_detected(self, lrc622, stripe622):
+        """Erasing a whole group plus its parity exceeds what the
+        globals can restore (4 data erasures > g=2 + 1 local)."""
+        _, stripe = stripe622
+        erased = {0, 1, 2, 6, 8}
+        avail = {i: stripe[i] for i in range(lrc622.n) if i not in erased}
+        assert not lrc622.is_recoverable(list(avail))
+        with pytest.raises(InsufficientChunksError):
+            lrc622.decode(avail)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_random_recoverable_patterns_decode(self, lrc622, stripe622, data):
+        original, stripe = stripe622
+        n = lrc622.n
+        erased = data.draw(
+            st.sets(st.integers(0, n - 1), min_size=0, max_size=4)
+        )
+        avail = {i: stripe[i] for i in range(n) if i not in erased}
+        if lrc622.is_recoverable(list(avail)):
+            decoded = lrc622.decode(avail)
+            for got, want in zip(decoded, original):
+                assert np.array_equal(got, want)
+        else:
+            with pytest.raises(InsufficientChunksError):
+                lrc622.decode(avail)
+
+
+class TestPartialDecodeIntegration:
+    def test_split_repair_vector_works_with_lrc(self, lrc622, stripe622):
+        """LRC repair vectors flow through the CAR partial-decode path."""
+        from repro.erasure.repair import (
+            combine_partials,
+            execute_partial_decode,
+            split_repair_vector,
+        )
+
+        _, stripe = stripe622
+        helpers = lrc622.minimal_repair_helpers(8)  # global parity: 6 helpers
+        group_of = {h: h % 2 for h in helpers}
+        plan = split_repair_vector(lrc622, 8, helpers, group_of)
+        partials = execute_partial_decode(
+            lrc622, plan, {i: stripe[i] for i in helpers}
+        )
+        assert np.array_equal(
+            combine_partials(lrc622, partials), stripe[8]
+        )

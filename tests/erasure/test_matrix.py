@@ -1,0 +1,167 @@
+"""Tests for GF matrix algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodingError, FieldError, SingularMatrixError
+from repro.erasure.matrix import GFMatrix
+from repro.gf.field import GF8
+
+
+def random_matrix(rng, rows, cols):
+    return GFMatrix(GF8, rng.integers(0, 256, (rows, cols)))
+
+
+class TestConstruction:
+    def test_identity(self):
+        eye = GFMatrix.identity(GF8, 3)
+        assert eye[0, 0] == 1 and eye[0, 1] == 0
+
+    def test_zeros(self):
+        z = GFMatrix.zeros(GF8, 2, 3)
+        assert z.shape == (2, 3)
+        assert not z.data.any()
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(FieldError):
+            GFMatrix(GF8, np.zeros(3, dtype=np.uint8))
+
+    def test_rejects_out_of_field_values(self):
+        from repro.gf.field import GF4
+        with pytest.raises(FieldError):
+            GFMatrix(GF4, [[200]])
+
+    def test_data_is_copied(self):
+        src = np.ones((2, 2), dtype=np.uint8)
+        m = GFMatrix(GF8, src)
+        src[0, 0] = 5
+        assert m[0, 0] == 1
+
+    def test_equality(self):
+        a = GFMatrix(GF8, [[1, 2], [3, 4]])
+        b = GFMatrix(GF8, [[1, 2], [3, 4]])
+        assert a == b
+        assert a != GFMatrix(GF8, [[1, 2], [3, 5]])
+
+
+class TestVandermonde:
+    def test_first_column_is_ones(self):
+        v = GFMatrix.vandermonde(GF8, 5, 3)
+        assert all(v[i, 0] == 1 for i in range(5))
+
+    def test_second_column_is_index(self):
+        v = GFMatrix.vandermonde(GF8, 5, 3)
+        assert [v[i, 1] for i in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_any_square_rows_invertible(self):
+        v = GFMatrix.vandermonde(GF8, 8, 4)
+        import itertools
+        for rows in itertools.combinations(range(8), 4):
+            assert v.take_rows(rows).is_invertible(), rows
+
+    def test_too_many_rows_rejected(self):
+        from repro.gf.field import GF4
+        with pytest.raises(CodingError):
+            GFMatrix.vandermonde(GF4, 17, 2)
+
+
+class TestCauchy:
+    def test_every_square_submatrix_invertible(self):
+        c = GFMatrix.cauchy(GF8, [4, 5, 6], [0, 1, 2, 3])
+        import itertools
+        for size in (1, 2, 3):
+            for rows in itertools.combinations(range(3), size):
+                for cols in itertools.combinations(range(4), size):
+                    sub = GFMatrix(GF8, c.data[np.ix_(rows, cols)])
+                    assert sub.is_invertible()
+
+    def test_overlapping_coordinates_rejected(self):
+        with pytest.raises(CodingError):
+            GFMatrix.cauchy(GF8, [0, 1], [1, 2])
+
+    def test_duplicate_coordinates_rejected(self):
+        with pytest.raises(CodingError):
+            GFMatrix.cauchy(GF8, [4, 4], [0, 1])
+
+
+class TestArithmetic:
+    def test_matmul_identity(self):
+        rng = np.random.default_rng(0)
+        m = random_matrix(rng, 3, 3)
+        eye = GFMatrix.identity(GF8, 3)
+        assert m @ eye == m
+        assert eye @ m == m
+
+    def test_matmul_shape_check(self):
+        with pytest.raises(FieldError):
+            GFMatrix.zeros(GF8, 2, 3) @ GFMatrix.zeros(GF8, 2, 3)
+
+    def test_add_is_xor(self):
+        a = GFMatrix(GF8, [[1, 2]])
+        assert (a + a).data.tolist() == [[0, 0]]
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(FieldError):
+            GFMatrix.zeros(GF8, 1, 2) + GFMatrix.zeros(GF8, 2, 1)
+
+    def test_mul_vector_matches_matmul(self):
+        rng = np.random.default_rng(1)
+        m = random_matrix(rng, 3, 4)
+        vec = [1, 2, 3, 4]
+        col = GFMatrix(GF8, [[v] for v in vec])
+        assert m.mul_vector(vec) == [int(x) for x in (m @ col).data[:, 0]]
+
+    def test_mul_vector_length_check(self):
+        with pytest.raises(FieldError):
+            GFMatrix.zeros(GF8, 2, 3).mul_vector([1, 2])
+
+    def test_transpose(self):
+        m = GFMatrix(GF8, [[1, 2, 3]])
+        assert m.transpose().shape == (3, 1)
+
+
+class TestInversion:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 6))
+    def test_inverse_roundtrip(self, seed, n):
+        rng = np.random.default_rng(seed)
+        m = random_matrix(rng, n, n)
+        try:
+            inv = m.invert()
+        except SingularMatrixError:
+            assert m.rank() < n
+            return
+        assert m @ inv == GFMatrix.identity(GF8, n)
+        assert inv @ m == GFMatrix.identity(GF8, n)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(SingularMatrixError):
+            GFMatrix.zeros(GF8, 2, 3).invert()
+
+    def test_singular_detected(self):
+        with pytest.raises(SingularMatrixError):
+            GFMatrix(GF8, [[1, 1], [1, 1]]).invert()
+
+    def test_rank(self):
+        assert GFMatrix(GF8, [[1, 1], [1, 1]]).rank() == 1
+        assert GFMatrix.identity(GF8, 4).rank() == 4
+        assert GFMatrix.zeros(GF8, 3, 3).rank() == 0
+
+
+class TestSystematic:
+    def test_top_block_becomes_identity(self):
+        v = GFMatrix.vandermonde(GF8, 7, 4)
+        sys = v.to_systematic()
+        assert GFMatrix(GF8, sys.data[:4, :]) == GFMatrix.identity(GF8, 4)
+
+    def test_preserves_mds(self):
+        v = GFMatrix.vandermonde(GF8, 7, 4).to_systematic()
+        import itertools
+        for rows in itertools.combinations(range(7), 4):
+            assert v.take_rows(rows).is_invertible()
+
+    def test_short_matrix_rejected(self):
+        with pytest.raises(SingularMatrixError):
+            GFMatrix.zeros(GF8, 2, 3).to_systematic()

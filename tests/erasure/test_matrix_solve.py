@@ -1,0 +1,85 @@
+"""Tests for the general linear-solving additions to GFMatrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError, SingularMatrixError
+from repro.erasure.matrix import GFMatrix
+from repro.gf.field import GF8
+
+
+class TestIndependentRows:
+    def test_identity(self):
+        eye = GFMatrix.identity(GF8, 3)
+        assert eye.independent_rows() == [0, 1, 2]
+
+    def test_duplicate_rows_skipped(self):
+        m = GFMatrix(GF8, [[1, 2], [1, 2], [0, 1]])
+        assert m.independent_rows() == [0, 2]
+
+    def test_scaled_rows_skipped(self):
+        # Row 1 = 2 * row 0 in GF(2^8).
+        m = GFMatrix(GF8, [[1, 3], [2, 6], [5, 0]])
+        assert m.independent_rows() == [0, 2]
+
+    def test_zero_rows_skipped(self):
+        m = GFMatrix(GF8, [[0, 0], [1, 0], [0, 0], [0, 1]])
+        assert m.independent_rows() == [1, 3]
+
+    def test_prefers_early_rows(self):
+        m = GFMatrix(GF8, [[1, 0], [0, 1], [1, 1]])
+        assert m.independent_rows() == [0, 1]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 5000), st.integers(1, 5), st.integers(1, 5))
+    def test_count_equals_rank(self, seed, rows, cols):
+        rng = np.random.default_rng(seed)
+        m = GFMatrix(GF8, rng.integers(0, 256, (rows, cols)))
+        assert len(m.independent_rows()) == m.rank()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 5000))
+    def test_selected_rows_are_independent(self, seed):
+        rng = np.random.default_rng(seed)
+        m = GFMatrix(GF8, rng.integers(0, 4, (6, 3)))
+        kept = m.independent_rows()
+        sub = m.take_rows(kept)
+        assert sub.rank() == len(kept)
+
+
+class TestSolveRight:
+    def test_identity_system(self):
+        eye = GFMatrix.identity(GF8, 3)
+        assert eye.solve_right([7, 9, 11]) == [7, 9, 11]
+
+    def test_known_combination(self):
+        rows = GFMatrix(GF8, [[1, 0, 1], [0, 1, 1]])
+        # target = 3*row0 + 5*row1
+        target = [3, 5, GF8.mul(3, 1) ^ GF8.mul(5, 1)]
+        x = rows.solve_right(target)
+        assert x == [3, 5]
+
+    def test_out_of_span_rejected(self):
+        rows = GFMatrix(GF8, [[1, 0, 0]])
+        with pytest.raises(SingularMatrixError):
+            rows.solve_right([0, 1, 0])
+
+    def test_length_mismatch(self):
+        rows = GFMatrix(GF8, [[1, 0]])
+        with pytest.raises(FieldError):
+            rows.solve_right([1, 2, 3])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 5), st.integers(1, 6))
+    def test_roundtrip_random_combinations(self, seed, nrows, ncols):
+        """x @ A == rhs for a random x implies solve recovers some x'
+        with x' @ A == rhs (not necessarily the same x)."""
+        rng = np.random.default_rng(seed)
+        a = GFMatrix(GF8, rng.integers(0, 256, (nrows, ncols)))
+        x = [int(v) for v in rng.integers(0, 256, nrows)]
+        rhs = (GFMatrix(GF8, [x]) @ a).data[0].tolist()
+        solved = a.solve_right(rhs)
+        check = (GFMatrix(GF8, [solved]) @ a).data[0].tolist()
+        assert check == rhs

@@ -1,0 +1,165 @@
+"""Tests for the product-matrix MSR regenerating code."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    CodingError,
+    InsufficientChunksError,
+    InvalidCodeParametersError,
+)
+from repro.erasure.regenerating import PMMSRCode
+
+
+@pytest.fixture(scope="module")
+def code():
+    return PMMSRCode(n=8, k=4)
+
+
+@pytest.fixture(scope="module")
+def encoded(code):
+    rng = np.random.default_rng(5)
+    packets = [rng.integers(0, 256, 24, dtype=np.uint8) for _ in range(code.B)]
+    return packets, code.encode(packets)
+
+
+class TestParameters:
+    def test_derived_parameters(self, code):
+        assert code.d == 6
+        assert code.alpha == 3
+        assert code.B == 12
+
+    def test_k_too_small(self):
+        with pytest.raises(InvalidCodeParametersError):
+            PMMSRCode(n=5, k=1)
+
+    def test_n_must_exceed_d(self):
+        with pytest.raises(InvalidCodeParametersError):
+            PMMSRCode(n=6, k=4)  # d = 6, need n > 6
+
+    def test_field_capacity(self):
+        with pytest.raises(InvalidCodeParametersError):
+            PMMSRCode(n=300, k=3, w=8)
+
+    def test_repair_ratio_is_two(self, code):
+        assert code.repair_traffic_ratio() == pytest.approx(2.0)
+        assert code.rs_equivalent_repair_ratio() == 4.0
+
+    def test_lambdas_distinct(self, code):
+        assert len(set(code._lambdas)) == code.n
+
+    def test_repr(self, code):
+        assert "PMMSRCode(n=8, k=4" in repr(code)
+
+
+class TestEncode:
+    def test_shapes(self, code, encoded):
+        _, contents = encoded
+        assert len(contents) == code.n
+        for c in contents:
+            assert len(c) == code.alpha
+
+    def test_wrong_packet_count(self, code):
+        with pytest.raises(CodingError):
+            code.encode([np.zeros(8, dtype=np.uint8)] * (code.B - 1))
+
+    def test_mismatched_packet_sizes(self, code):
+        packets = [np.zeros(8, dtype=np.uint8) for _ in range(code.B)]
+        packets[3] = np.zeros(16, dtype=np.uint8)
+        with pytest.raises(CodingError):
+            code.encode(packets)
+
+
+class TestDecode:
+    def test_any_k_subset(self, code, encoded):
+        packets, contents = encoded
+        random.seed(1)
+        for _ in range(8):
+            nodes = random.sample(range(code.n), code.k)
+            got = code.decode({i: contents[i] for i in nodes})
+            for a, b in zip(got, packets):
+                assert np.array_equal(a, b), nodes
+
+    def test_too_few_nodes(self, code, encoded):
+        _, contents = encoded
+        with pytest.raises(InsufficientChunksError):
+            code.decode({0: contents[0]})
+
+    def test_malformed_content(self, code, encoded):
+        _, contents = encoded
+        bad = {i: contents[i] for i in range(code.k)}
+        bad[0] = contents[0][:1]
+        with pytest.raises(CodingError):
+            code.decode(bad)
+
+
+class TestRepair:
+    def test_every_node_repairable(self, code, encoded):
+        _, contents = encoded
+        random.seed(2)
+        for failed in range(code.n):
+            helpers = random.sample(
+                [i for i in range(code.n) if i != failed], code.d
+            )
+            symbols = {
+                h: code.repair_symbol(h, failed, contents[h]) for h in helpers
+            }
+            rebuilt = code.repair(failed, symbols)
+            for a, b in zip(rebuilt, contents[failed]):
+                assert np.array_equal(a, b), failed
+
+    def test_beta_is_one_packet(self, code, encoded):
+        """Each helper ships exactly one packet-sized symbol."""
+        _, contents = encoded
+        symbol = code.repair_symbol(1, 0, contents[1])
+        assert symbol.shape == contents[1][0].shape
+
+    def test_wrong_helper_count(self, code, encoded):
+        _, contents = encoded
+        symbols = {
+            h: code.repair_symbol(h, 0, contents[h]) for h in range(1, code.d)
+        }
+        with pytest.raises(InsufficientChunksError):
+            code.repair(0, symbols)
+
+    def test_self_help_rejected(self, code, encoded):
+        _, contents = encoded
+        with pytest.raises(CodingError):
+            code.repair_symbol(0, 0, contents[0])
+
+    def test_failed_in_helper_set_rejected(self, code, encoded):
+        _, contents = encoded
+        symbols = {
+            h: code.repair_symbol(h, 1, contents[h])
+            for h in range(2, 2 + code.d - 1)
+        }
+        symbols[1] = contents[1][0]
+        with pytest.raises(CodingError):
+            code.repair(1, symbols)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_repair_random_instances(self, seed):
+        code = PMMSRCode(n=7, k=3)
+        rng = np.random.default_rng(seed)
+        packets = [
+            rng.integers(0, 256, 16, dtype=np.uint8) for _ in range(code.B)
+        ]
+        contents = code.encode(packets)
+        failed = seed % code.n
+        helpers = [i for i in range(code.n) if i != failed][: code.d]
+        symbols = {
+            h: code.repair_symbol(h, failed, contents[h]) for h in helpers
+        }
+        rebuilt = code.repair(failed, symbols)
+        for a, b in zip(rebuilt, contents[failed]):
+            assert np.array_equal(a, b)
+
+    def test_repair_traffic_beats_decode_traffic(self, code, encoded):
+        """MSR's point: d packets to repair one node vs B packets to
+        decode everything (what naive RS repair would fetch)."""
+        assert code.d < code.B

@@ -1,0 +1,133 @@
+"""Tests for repair-vector splitting and partial decoding.
+
+The central invariant (the paper's Equation 7): grouping the repair
+combination by rack and XOR-combining the per-rack partials yields the
+lost chunk byte-for-byte, for *every* possible grouping.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodingError
+from repro.erasure.repair import (
+    AggregationGroup,
+    combine_partials,
+    execute_partial_decode,
+    split_repair_vector,
+)
+from repro.erasure.rs import RSCode
+
+
+@pytest.fixture(scope="module")
+def code():
+    return RSCode(6, 3)
+
+
+@pytest.fixture(scope="module")
+def stripe(code):
+    rng = np.random.default_rng(13)
+    data = [rng.integers(0, 256, 128, dtype=np.uint8) for _ in range(code.k)]
+    return code.encode_stripe(data)
+
+
+class TestAggregationGroup:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(CodingError):
+            AggregationGroup("r", (1, 2), (3,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(CodingError):
+            AggregationGroup("r", (), ())
+
+    def test_size(self):
+        assert AggregationGroup("r", (1, 2), (3, 4)).size == 2
+
+
+class TestSplit:
+    def test_groups_partition_helpers(self, code):
+        helpers = [1, 2, 3, 4, 5, 6]
+        group_of = {i: i % 2 for i in helpers}
+        plan = split_repair_vector(code, 0, helpers, group_of)
+        all_helpers = sorted(
+            h for g in plan.groups for h in g.helper_indices
+        )
+        assert all_helpers == helpers
+        assert plan.helper_count == code.k
+        assert plan.group_count == 2
+
+    def test_missing_group_assignment(self, code):
+        with pytest.raises(CodingError):
+            split_repair_vector(code, 0, [1, 2, 3, 4, 5, 6], {1: 0})
+
+    def test_group_for(self, code):
+        plan = split_repair_vector(
+            code, 0, [1, 2, 3, 4, 5, 6], {i: "only" for i in range(1, 7)}
+        )
+        assert plan.group_for("only").size == 6
+        with pytest.raises(KeyError):
+            plan.group_for("nope")
+
+    def test_coefficients_match_repair_vector(self, code):
+        helpers = [1, 2, 3, 4, 5, 6]
+        y = code.repair_vector(0, helpers)
+        plan = split_repair_vector(
+            code, 0, helpers, {i: 0 for i in helpers}
+        )
+        group = plan.groups[0]
+        assert list(group.helper_indices) == helpers
+        assert list(group.coefficients) == y
+
+
+class TestExecution:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_any_grouping_reconstructs_exactly(self, code, stripe, data):
+        lost = data.draw(st.integers(0, code.n - 1))
+        survivors = [i for i in range(code.n) if i != lost]
+        helpers = sorted(
+            data.draw(st.permutations(survivors))[: code.k]
+        )
+        # Arbitrary rack assignment with 1..4 groups.
+        num_groups = data.draw(st.integers(1, 4))
+        group_of = {
+            h: data.draw(st.integers(0, num_groups - 1), label=f"g{h}")
+            for h in helpers
+        }
+        plan = split_repair_vector(code, lost, helpers, group_of)
+        partials = execute_partial_decode(
+            code, plan, {i: stripe[i] for i in helpers}
+        )
+        rebuilt = combine_partials(code, partials)
+        assert np.array_equal(rebuilt, stripe[lost])
+
+    def test_each_partial_is_chunk_sized(self, code, stripe):
+        helpers = [0, 2, 3, 5, 7, 8]
+        plan = split_repair_vector(
+            code, 1, helpers, {h: h % 3 for h in helpers}
+        )
+        partials = execute_partial_decode(
+            code, plan, {i: stripe[i] for i in helpers}
+        )
+        for buf in partials.values():
+            assert buf.shape == stripe[0].shape
+
+    def test_missing_chunk_detected(self, code, stripe):
+        helpers = [1, 2, 3, 4, 5, 6]
+        plan = split_repair_vector(code, 0, helpers, {h: 0 for h in helpers})
+        with pytest.raises(CodingError):
+            execute_partial_decode(code, plan, {1: stripe[1]})
+
+    def test_combine_empty_rejected(self, code):
+        with pytest.raises(CodingError):
+            combine_partials(code, {})
+
+    def test_single_group_equals_direct_reconstruct(self, code, stripe):
+        helpers = [2, 3, 4, 5, 6, 7]
+        plan = split_repair_vector(code, 0, helpers, {h: "r" for h in helpers})
+        partials = execute_partial_decode(
+            code, plan, {i: stripe[i] for i in helpers}
+        )
+        direct = code.reconstruct(0, {i: stripe[i] for i in helpers})
+        assert np.array_equal(partials["r"], direct)

@@ -1,0 +1,193 @@
+"""Tests for RDP, X-Code, and hybrid single-failure recovery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodingError, InvalidCodeParametersError, RecoveryError
+from repro.erasure.xorcodes import (
+    RDPCode,
+    XCode,
+    balanced_split_rdp,
+    conventional_reads,
+    enumerate_optimal,
+    greedy_hybrid,
+    is_prime,
+    recovery_options,
+)
+
+
+def random_stripe(code, seed=0, symbol_len=8):
+    rng = np.random.default_rng(seed)
+    data = [
+        rng.integers(0, 256, symbol_len, dtype=np.uint8)
+        for _ in range(len(code.data_symbols()))
+    ]
+    return code.make_stripe(data)
+
+
+class TestPrime:
+    def test_primes(self):
+        assert [p for p in range(20) if is_prime(p)] == [2, 3, 5, 7, 11, 13, 17, 19]
+
+
+class TestRDP:
+    def test_requires_prime(self):
+        with pytest.raises(InvalidCodeParametersError):
+            RDPCode(9)
+        with pytest.raises(InvalidCodeParametersError):
+            RDPCode(2)
+
+    def test_shape(self):
+        rdp = RDPCode(5)
+        assert rdp.rows == 4 and rdp.disks == 6
+        assert rdp.k == 4 and rdp.m == 2
+
+    def test_parity_sets_sizes(self):
+        rdp = RDPCode(5)
+        rows = [ps for ps in rdp.parity_sets() if ps.kind == "row"]
+        diags = [ps for ps in rdp.parity_sets() if ps.kind == "diagonal"]
+        assert len(rows) == 4 and len(diags) == 4
+        assert all(len(ps.symbols) == 5 for ps in rows)
+        assert all(len(ps.symbols) == 5 for ps in diags)
+
+    @pytest.mark.parametrize("p", [3, 5, 7, 11])
+    def test_all_parity_sets_xor_to_zero(self, p):
+        rdp = RDPCode(p)
+        stripe = random_stripe(rdp, seed=p)
+        assert rdp.verify_stripe(stripe)
+
+    @pytest.mark.parametrize("p", [3, 5, 7])
+    def test_recover_any_single_disk(self, p):
+        rdp = RDPCode(p)
+        stripe = random_stripe(rdp, seed=p + 1)
+        for disk in range(rdp.disks):
+            broken = stripe.copy()
+            broken[:, disk, :] = 0
+            fixed, reads = rdp.recover_disk(broken, disk)
+            assert np.array_equal(fixed, stripe)
+            assert reads  # must have read something
+
+    def test_make_stripe_validates_count(self):
+        rdp = RDPCode(5)
+        with pytest.raises(CodingError):
+            rdp.make_stripe([np.zeros(4, dtype=np.uint8)])
+
+    def test_make_stripe_validates_lengths(self):
+        rdp = RDPCode(3)
+        bufs = [np.zeros(4, dtype=np.uint8) for _ in range(len(rdp.data_symbols()))]
+        bufs[0] = np.zeros(8, dtype=np.uint8)
+        with pytest.raises(CodingError):
+            rdp.make_stripe(bufs)
+
+    def test_corrupt_stripe_fails_verify(self):
+        rdp = RDPCode(5)
+        stripe = random_stripe(rdp)
+        stripe[0, 0, 0] ^= 0xFF
+        assert not rdp.verify_stripe(stripe)
+
+
+class TestXCode:
+    def test_requires_prime_at_least_5(self):
+        with pytest.raises(InvalidCodeParametersError):
+            XCode(4)
+        with pytest.raises(InvalidCodeParametersError):
+            XCode(3)
+
+    def test_shape(self):
+        xc = XCode(5)
+        assert xc.rows == 5 and xc.disks == 5
+        assert xc.k == 3 and xc.m == 2
+
+    @pytest.mark.parametrize("p", [5, 7, 11])
+    def test_all_parity_sets_xor_to_zero(self, p):
+        xc = XCode(p)
+        stripe = random_stripe(xc, seed=p)
+        assert xc.verify_stripe(stripe)
+
+    @pytest.mark.parametrize("p", [5, 7])
+    def test_recover_any_single_disk(self, p):
+        xc = XCode(p)
+        stripe = random_stripe(xc, seed=p + 2)
+        for disk in range(xc.disks):
+            broken = stripe.copy()
+            broken[:, disk, :] = 0
+            fixed, _ = xc.recover_disk(broken, disk)
+            assert np.array_equal(fixed, stripe)
+
+
+class TestHybridRecovery:
+    def test_conventional_rdp_reads_k_per_symbol(self):
+        """All-row recovery of a data disk reads (p-1)^2 distinct symbols."""
+        p = 7
+        rdp = RDPCode(p)
+        sol = conventional_reads(rdp, 0)
+        assert sol.read_count == (p - 1) * (p - 1)
+
+    @pytest.mark.parametrize("p", [5, 7, 11])
+    def test_optimal_achieves_three_quarters(self, p):
+        """Xiang et al.'s bound: optimal hybrid reads ~3/4 of conventional."""
+        rdp = RDPCode(p)
+        conv = conventional_reads(rdp, 0).read_count
+        opt = enumerate_optimal(rdp, 0).read_count
+        assert opt <= 0.80 * conv
+
+    @pytest.mark.parametrize("p", [5, 7, 11])
+    def test_ordering_conventional_greedy_optimal(self, p):
+        rdp = RDPCode(p)
+        conv = conventional_reads(rdp, 0).read_count
+        gre = greedy_hybrid(rdp, 0).read_count
+        opt = enumerate_optimal(rdp, 0).read_count
+        assert opt <= gre <= conv
+
+    def test_balanced_split_near_optimal(self):
+        rdp = RDPCode(7)
+        bal = balanced_split_rdp(rdp, 0).read_count
+        opt = enumerate_optimal(rdp, 0).read_count
+        assert bal <= opt + 3  # within a few reads of optimal
+
+    @pytest.mark.parametrize("p", [5, 7])
+    def test_optimal_choice_actually_recovers(self, p):
+        rdp = RDPCode(p)
+        stripe = random_stripe(rdp, seed=3)
+        for disk in range(p - 1):  # data disks
+            sol = enumerate_optimal(rdp, disk)
+            broken = stripe.copy()
+            broken[:, disk, :] = 0
+            fixed, reads = rdp.recover_disk(broken, disk, choice=sol.choice)
+            assert np.array_equal(fixed, stripe)
+            assert reads == set(sol.reads)
+
+    def test_enumeration_budget_guard(self):
+        rdp = RDPCode(13)
+        with pytest.raises(RecoveryError):
+            enumerate_optimal(rdp, 0, max_combinations=10)
+
+    def test_xcode_hybrid(self):
+        xc = XCode(7)
+        conv = conventional_reads(xc, 0).read_count
+        opt = enumerate_optimal(xc, 0).read_count
+        assert opt <= conv
+
+    def test_recovery_options_cover_all_lost_symbols(self):
+        rdp = RDPCode(5)
+        options = recovery_options(rdp, 2)
+        assert len(options) == rdp.rows
+        for sym, opts in options:
+            assert sym[1] == 2
+            assert opts
+
+
+class TestHybridProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 99))
+    def test_greedy_choice_recovers_bytes(self, seed):
+        rdp = RDPCode(7)
+        stripe = random_stripe(rdp, seed=seed)
+        disk = seed % rdp.disks
+        sol = greedy_hybrid(rdp, disk)
+        broken = stripe.copy()
+        broken[:, disk, :] = 0
+        fixed, _ = rdp.recover_disk(broken, disk, choice=sol.choice)
+        assert np.array_equal(fixed, stripe)

@@ -1,0 +1,50 @@
+"""Tests for the ablation experiments."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    run_greedy_vs_optimal,
+    run_oversubscription_sweep,
+    run_traffic_ablation,
+)
+from repro.experiments.configs import CFS1, CFS2
+
+
+class TestTrafficAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_traffic_ablation(CFS2, runs=3, num_stripes=30)
+
+    def test_car_is_best(self, result):
+        assert result.traffic["CAR"] == min(result.traffic.values())
+
+    def test_rr_is_worst(self, result):
+        assert result.traffic["RR"] == max(result.traffic.values())
+
+    def test_each_technique_helps(self, result):
+        assert result.saving_over_rr("MinRack-noAgg") > 0
+        assert result.saving_over_rr("Random+Agg") > 0
+        assert result.saving_over_rr("CAR") > result.saving_over_rr("Random+Agg")
+
+
+class TestOversubscription:
+    def test_saving_grows_with_oversubscription(self):
+        points = run_oversubscription_sweep(
+            CFS1, factors=(1.0, 4.0), num_stripes=20
+        )
+        assert points[1].saving > points[0].saving
+
+    def test_times_grow_with_oversubscription(self):
+        points = run_oversubscription_sweep(
+            CFS1, factors=(1.0, 8.0), num_stripes=20
+        )
+        assert points[1].rr_time_per_chunk > points[0].rr_time_per_chunk
+
+
+class TestGreedyVsOptimal:
+    def test_greedy_near_optimal(self):
+        result = run_greedy_vs_optimal(CFS1, runs=5, num_stripes=5)
+        # Greedy may tie or be slightly worse, never better than optimal.
+        for g, o in zip(result.greedy_lambdas, result.optimal_lambdas):
+            assert g >= o - 1e-9
+        assert result.mean_gap < 0.5

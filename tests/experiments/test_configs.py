@@ -1,0 +1,71 @@
+"""Tests for the Table II/III configurations."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.configs import (
+    ALL_CFS,
+    CFS1,
+    CFS2,
+    CFS3,
+    MB,
+    PAPER_CHUNK_SIZES,
+    CFSConfig,
+    build_state,
+)
+
+
+class TestTableII:
+    def test_cfs1(self):
+        assert CFS1.rack_sizes == (4, 3, 3)
+        assert (CFS1.k, CFS1.m) == (4, 3)
+        assert CFS1.num_nodes == 10
+
+    def test_cfs2_matches_colossus(self):
+        assert (CFS2.k, CFS2.m) == (6, 3)
+        assert CFS2.num_nodes == 13
+
+    def test_cfs3_matches_hdfs_raid(self):
+        assert (CFS3.k, CFS3.m) == (10, 4)
+        assert CFS3.num_nodes == 20
+        assert CFS3.num_racks == 5
+
+    def test_paper_chunk_sizes(self):
+        assert PAPER_CHUNK_SIZES == (4 * MB, 8 * MB, 16 * MB)
+
+    def test_all_cfs_order(self):
+        assert [c.name for c in ALL_CFS] == ["CFS1", "CFS2", "CFS3"]
+
+    def test_stripe_width_validation(self):
+        with pytest.raises(ConfigurationError):
+            CFSConfig(name="bad", rack_sizes=(2, 2), k=4, m=3)
+
+    def test_code_and_topology_factories(self):
+        code = CFS2.code()
+        assert (code.k, code.m) == (6, 3)
+        topo = CFS2.topology()
+        assert topo.rack_sizes() == (4, 3, 3, 3)
+
+
+class TestBuildState:
+    def test_matches_methodology(self):
+        state = build_state(CFS1, seed=1)
+        assert state.placement.num_stripes == 100
+        assert state.placement.is_rack_fault_tolerant()
+        assert state.data is None
+
+    def test_with_data(self):
+        state = build_state(CFS1, seed=1, with_data=True, chunk_size=128,
+                            num_stripes=5)
+        assert state.data is not None
+        assert state.data.chunk(0, 0).nbytes == 128
+
+    def test_reproducible(self):
+        a = build_state(CFS2, seed=5, num_stripes=10)
+        b = build_state(CFS2, seed=5, num_stripes=10)
+        assert dict(a.placement.iter_chunks()) == dict(b.placement.iter_chunks())
+
+    def test_different_seeds_differ(self):
+        a = build_state(CFS2, seed=5, num_stripes=10)
+        b = build_state(CFS2, seed=6, num_stripes=10)
+        assert dict(a.placement.iter_chunks()) != dict(b.placement.iter_chunks())

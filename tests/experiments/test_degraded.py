@@ -1,0 +1,48 @@
+"""Tests for the degraded-read latency experiment."""
+
+import pytest
+
+from repro.experiments.configs import CFS1, CFS2
+from repro.experiments.degraded import run_degraded_read
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_degraded_read(CFS2, runs=2, num_stripes=20)
+
+
+class TestDegradedRead:
+    def test_both_strategies_present(self, result):
+        assert set(result.distributions) == {"CAR", "RR"}
+
+    def test_car_faster_on_average(self, result):
+        assert (
+            result.distributions["CAR"].mean < result.distributions["RR"].mean
+        )
+
+    def test_speedup_above_one(self, result):
+        assert result.speedup() > 1.0
+
+    def test_distribution_ordering(self, result):
+        for d in result.distributions.values():
+            assert d.p50 <= d.p99 <= d.worst
+            assert d.mean <= d.worst
+            assert d.samples > 0
+
+    def test_sample_counts_match(self, result):
+        assert (
+            result.distributions["CAR"].samples
+            == result.distributions["RR"].samples
+        )
+
+    def test_latency_scales_with_chunk_size(self):
+        small = run_degraded_read(
+            CFS1, runs=1, num_stripes=10, chunk_size=1 << 20
+        )
+        large = run_degraded_read(
+            CFS1, runs=1, num_stripes=10, chunk_size=4 << 20
+        )
+        assert (
+            large.distributions["CAR"].mean
+            == pytest.approx(4 * small.distributions["CAR"].mean, rel=1e-6)
+        )

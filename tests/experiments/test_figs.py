@@ -1,0 +1,125 @@
+"""Tests for the figure reproducers (small runs; shape assertions).
+
+These check the *paper's qualitative claims* hold on reduced workloads:
+CAR saves traffic and time, savings grow with k, λ drops with
+balancing, transmission dominates computation.
+"""
+
+import pytest
+
+from repro.experiments.configs import CFS1, CFS2, CFS3, MB
+from repro.experiments.fig7 import run_fig7_single
+from repro.experiments.fig8 import run_fig8_single
+from repro.experiments.fig9 import run_fig9_single
+from repro.experiments.fig10 import run_fig10
+
+RUNS = 3
+STRIPES = 30
+
+
+@pytest.fixture(scope="module")
+def fig7_cfs1():
+    return run_fig7_single(CFS1, runs=RUNS, num_stripes=STRIPES)
+
+
+@pytest.fixture(scope="module")
+def fig7_cfs3():
+    return run_fig7_single(CFS3, runs=RUNS, num_stripes=STRIPES)
+
+
+class TestFig7:
+    def test_car_below_rr_everywhere(self, fig7_cfs1):
+        car, rr = fig7_cfs1.series["CAR"], fig7_cfs1.series["RR"]
+        for c_mean, r_mean in zip(car.means, rr.means):
+            assert c_mean < r_mean
+
+    def test_traffic_linear_in_chunk_size(self, fig7_cfs1):
+        car = fig7_cfs1.series["CAR"]
+        assert car.means[1] == pytest.approx(2 * car.means[0])
+        assert car.means[2] == pytest.approx(4 * car.means[0])
+
+    def test_savings_significant(self, fig7_cfs1):
+        assert fig7_cfs1.max_saving > 0.35
+
+    def test_saving_grows_with_k(self, fig7_cfs1, fig7_cfs3):
+        """Paper: CFS3 (k=10) saves more than CFS1 (k=4)."""
+        assert fig7_cfs3.max_saving > fig7_cfs1.max_saving
+
+    def test_series_have_paper_x_axis(self, fig7_cfs1):
+        assert fig7_cfs1.series["CAR"].xs == (4.0, 8.0, 16.0)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig8_single(CFS2, runs=RUNS, num_stripes=STRIPES)
+
+    def test_balancing_beats_no_balancing(self, result):
+        assert result.final_lambda < result.initial_lambda
+
+    def test_lambda_nonincreasing_over_checkpoints(self, result):
+        means = result.balanced.means
+        for a, b in zip(means, means[1:]):
+            assert b <= a + 1e-9
+
+    def test_lambda_at_least_one(self, result):
+        assert result.final_lambda >= 1.0
+
+    def test_substitutions_happened(self, result):
+        assert result.mean_substitutions > 0
+
+    def test_unbalanced_series_is_flat(self, result):
+        assert len(set(result.unbalanced.means)) == 1
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig9_single(
+            CFS2, runs=2, num_stripes=20, chunk_sizes=(4 * MB, 8 * MB)
+        )
+
+    def test_car_faster(self, result):
+        for x in result.series["CAR"].xs:
+            car, _ = result.series["CAR"].point(x)
+            rr, _ = result.series["RR"].point(x)
+            assert car < rr
+
+    def test_time_grows_with_chunk_size(self, result):
+        for name in ("CAR", "RR"):
+            means = result.series[name].means
+            assert means[1] > means[0]
+
+    def test_saving_positive(self, result):
+        assert result.max_saving > 0.1
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig10(runs=2, num_stripes=20)
+
+    def test_transmission_dominates(self, result):
+        for row in result.rows:
+            assert row.transmission_ratio > 0.5
+
+    def test_ratios_sum_to_one(self, result):
+        for row in result.rows:
+            assert row.transmission_ratio + row.computation_ratio == pytest.approx(1.0)
+
+    def test_rr_computation_share_shrinks_with_k(self, result):
+        shares = {
+            r.config_name: r.computation_ratio
+            for r in result.rows
+            if r.strategy == "RR"
+        }
+        assert shares["CFS3"] < shares["CFS1"]
+
+    def test_normalized_computation_close_to_one(self, result):
+        for name, ratio in result.normalized_computation.items():
+            assert 0.5 < ratio < 1.6, name
+
+    def test_row_lookup(self, result):
+        assert result.row("CFS1", "CAR").strategy == "CAR"
+        with pytest.raises(KeyError):
+            result.row("CFS9", "CAR")

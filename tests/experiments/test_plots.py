@@ -1,0 +1,111 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.plots import bar_chart, line_chart, series_chart
+from repro.experiments.runner import Series
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        out = bar_chart("traffic", {"CAR": 10.0, "RR": 30.0}, width=30)
+        lines = out.splitlines()
+        assert lines[0] == "traffic"
+        assert len(lines) == 3
+        # RR's bar is three times CAR's.
+        car_bar = lines[1].count("#")
+        rr_bar = lines[2].count("#")
+        assert rr_bar == 30
+        assert car_bar == 10
+
+    def test_zero_values_allowed(self):
+        out = bar_chart("t", {"a": 0.0, "b": 5.0})
+        assert "a |  0" in out
+
+    def test_unit_suffix(self):
+        out = bar_chart("t", {"a": 2.0}, unit="MB")
+        assert "2MB" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart("t", {})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart("t", {"a": -1.0})
+
+
+class TestLineChart:
+    def test_glyphs_and_legend(self):
+        out = line_chart(
+            "plot",
+            {"one": [(0, 0), (1, 1)], "two": [(0, 1), (1, 0)]},
+            height=5,
+            width=20,
+        )
+        assert "o = one" in out
+        assert "x = two" in out
+        assert "o" in out and "x" in out
+
+    def test_extremes_on_grid_corners(self):
+        out = line_chart("p", {"s": [(0, 0), (10, 100)]}, height=4, width=10)
+        body = out.splitlines()[1:5]
+        # Max y is on the first grid row, min on the last.
+        assert "o" in body[0]
+        assert "o" in body[-1]
+
+    def test_single_point(self):
+        out = line_chart("p", {"s": [(5, 5)]})
+        assert "o" in out
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            line_chart("p", {})
+        with pytest.raises(ConfigurationError):
+            line_chart("p", {"s": []})
+
+    def test_y_label_in_legend(self):
+        out = line_chart("p", {"s": [(0, 1)]}, y_label="seconds")
+        assert "(y: seconds)" in out
+
+
+class TestSeriesChart:
+    def test_renders_experiment_series(self):
+        s = Series(label="CAR", xs=(4.0, 8.0), means=(1.0, 2.0), stds=(0, 0))
+        out = series_chart("fig", [s], y_label="MB")
+        assert "fig" in out
+        assert "CAR" in out
+
+    def test_deterministic(self):
+        s = Series(label="CAR", xs=(4.0, 8.0), means=(1.0, 2.0), stds=(0, 0))
+        assert series_chart("f", [s]) == series_chart("f", [s])
+
+
+class TestCliPlotFlag:
+    def test_fig8_plot(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig8", "--runs", "2", "--stripes", "10", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+        assert "balancing with CAR" in out
+
+
+class TestCliPlotFig7And9:
+    def test_fig7_plot(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig7", "--runs", "2", "--stripes", "10", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7: cross-rack traffic" in out
+        assert "legend:" in out
+
+    def test_fig9_plot(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["fig9", "--runs", "1", "--stripes", "8", "--plot"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9: recovery time" in out

@@ -1,0 +1,96 @@
+"""Tests for report rendering and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.ablation import run_traffic_ablation
+from repro.experiments.configs import CFS1, MB
+from repro.experiments.fig7 import run_fig7_single
+from repro.experiments.fig8 import run_fig8_single
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.report import (
+    format_table,
+    render_fig7,
+    render_fig8,
+    render_fig10,
+    render_traffic_ablation,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [["x", 1], ["yy", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("-")
+
+    def test_stringifies_values(self):
+        out = format_table(["n"], [[1.5]])
+        assert "1.5" in out
+
+
+class TestRenderers:
+    def test_render_fig7(self):
+        res = run_fig7_single(CFS1, runs=2, num_stripes=10)
+        text = render_fig7([res])
+        assert "Figure 7" in text
+        assert "CFS1" in text
+        assert "4MB" in text and "16MB" in text
+
+    def test_render_fig8(self):
+        res = run_fig8_single(CFS1, runs=2, num_stripes=10)
+        text = render_fig8([res])
+        assert "Figure 8" in text
+        assert "±" in text
+
+    def test_render_fig10(self):
+        res = run_fig10(runs=1, num_stripes=10, configs=(CFS1,))
+        text = render_fig10(res)
+        assert "Figure 10(a)" in text and "Figure 10(b)" in text
+
+    def test_render_ablation(self):
+        res = run_traffic_ablation(CFS1, runs=2, num_stripes=10)
+        text = render_traffic_ablation([res])
+        assert "CAR" in text and "saving" in text
+
+
+class TestCli:
+    def test_parser_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig7", "--runs", "2"])
+        assert args.experiment == "fig7"
+        assert args.runs == 2
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_main_fig7(self, capsys):
+        assert main(["fig7", "--runs", "2", "--stripes", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+
+    def test_main_fig8_with_seed(self, capsys):
+        assert main(["fig8", "--runs", "2", "--stripes", "10", "--seed", "7"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_main_fig10(self, capsys):
+        assert main(["fig10", "--runs", "1", "--stripes", "10"]) == 0
+        assert "normalised" in capsys.readouterr().out
+
+
+class TestCliExtensions:
+    def test_landscape_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["landscape", "--runs", "2", "--stripes", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "RS + CAR" in out and "PM-MSR" in out
+
+    def test_longrun_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["longrun", "--stripes", "20", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "CAR-history" in out
+        assert "long-run lambda" in out

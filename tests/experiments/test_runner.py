@@ -1,0 +1,84 @@
+"""Tests for the experiment runner (paired runs, seeding, series)."""
+
+import pytest
+
+from repro.experiments.configs import CFS1, CFS2
+from repro.experiments.runner import ExperimentRunner, Series, mean_std
+from repro.recovery.baselines import CarStrategy, RandomRecoveryStrategy
+
+
+class TestMeanStd:
+    def test_single_value(self):
+        assert mean_std([4.0]) == (4.0, 0.0)
+
+    def test_basic(self):
+        mean, std = mean_std([1.0, 3.0])
+        assert mean == 2.0
+        assert std == pytest.approx(2.0 ** 0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_std([])
+
+
+class TestSeries:
+    def test_point_lookup(self):
+        s = Series(label="x", xs=(1.0, 2.0), means=(5.0, 6.0), stds=(0.1, 0.2))
+        assert s.point(2.0) == (6.0, 0.2)
+
+    def test_missing_x(self):
+        s = Series(label="x", xs=(1.0,), means=(5.0,), stds=(0.0,))
+        with pytest.raises(ValueError):
+            s.point(9.0)
+
+
+class TestRunner:
+    def test_paired_comparison(self):
+        """Every strategy inside one run sees the same placement and
+        failure — the testbed's paired methodology."""
+        runner = ExperimentRunner(CFS1, runs=2, num_stripes=15)
+        results = runner.run_all(
+            {
+                "CAR": lambda seed: CarStrategy(),
+                "RR": lambda seed: RandomRecoveryStrategy(rng=seed),
+            }
+        )
+        for r in results:
+            assert set(r.solutions) == {"CAR", "RR"}
+            car_rack = r.solutions["CAR"].failed_rack
+            rr_rack = r.solutions["RR"].failed_rack
+            assert car_rack == rr_rack == r.state.topology.rack_of(
+                r.event.failed_node
+            )
+
+    def test_runs_differ(self):
+        runner = ExperimentRunner(CFS2, runs=3, num_stripes=15)
+        results = runner.run_all({"CAR": lambda seed: CarStrategy()})
+        layouts = [
+            tuple(sorted(r.state.placement.iter_chunks())) for r in results
+        ]
+        assert len(set(layouts)) > 1
+
+    def test_reproducible_across_runner_instances(self):
+        def traffic(base_seed):
+            runner = ExperimentRunner(
+                CFS1, runs=2, base_seed=base_seed, num_stripes=15
+            )
+            results = runner.run_all({"CAR": lambda seed: CarStrategy()})
+            return [
+                r.solutions["CAR"].total_cross_rack_traffic() for r in results
+            ]
+
+        assert traffic(42) == traffic(42)
+        assert traffic(42) != traffic(43) or traffic(42) != traffic(44)
+
+    def test_strategies_recorded(self):
+        runner = ExperimentRunner(CFS1, runs=1, num_stripes=10)
+        results = runner.run_all({"CAR": lambda seed: CarStrategy()})
+        strategy = results[0].strategies["CAR"]
+        assert strategy.last_trace is not None
+
+    def test_stripe_override(self):
+        runner = ExperimentRunner(CFS1, runs=1, num_stripes=7)
+        results = runner.run_all({"CAR": lambda seed: CarStrategy()})
+        assert results[0].state.placement.num_stripes == 7

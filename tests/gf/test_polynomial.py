@@ -1,0 +1,140 @@
+"""Tests for polynomials over GF(2^w)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DivisionByZeroError, FieldError
+from repro.gf.field import GF8
+from repro.gf.polynomial import Polynomial
+
+coeff_lists = st.lists(
+    st.integers(min_value=0, max_value=255), min_size=0, max_size=8
+)
+
+
+def poly(*coeffs):
+    return Polynomial(GF8, coeffs)
+
+
+class TestConstruction:
+    def test_normalisation_strips_trailing_zeros(self):
+        assert poly(1, 2, 0, 0).coeffs == (1, 2)
+
+    def test_zero(self):
+        z = Polynomial.zero(GF8)
+        assert z.is_zero() and z.degree == -1
+
+    def test_one(self):
+        assert Polynomial.one(GF8).evaluate(123) == 1
+
+    def test_monomial(self):
+        m = Polynomial.monomial(GF8, 3, coeff=5)
+        assert m.degree == 3
+        assert m.evaluate(1) == 5
+
+    def test_monomial_negative_degree(self):
+        with pytest.raises(FieldError):
+            Polynomial.monomial(GF8, -1)
+
+    def test_repr(self):
+        assert "x^1" in repr(poly(0, 3))
+        assert repr(Polynomial.zero(GF8)).endswith("0)")
+
+
+class TestArithmetic:
+    @given(coeff_lists, coeff_lists)
+    def test_add_commutative(self, a, b):
+        pa, pb = Polynomial(GF8, a), Polynomial(GF8, b)
+        assert pa + pb == pb + pa
+
+    @given(coeff_lists)
+    def test_add_self_is_zero(self, a):
+        pa = Polynomial(GF8, a)
+        assert (pa + pa).is_zero()
+
+    @given(coeff_lists, coeff_lists)
+    def test_mul_commutative(self, a, b):
+        pa, pb = Polynomial(GF8, a), Polynomial(GF8, b)
+        assert pa * pb == pb * pa
+
+    @given(coeff_lists, coeff_lists, st.integers(0, 255))
+    def test_mul_evaluation_homomorphism(self, a, b, x):
+        pa, pb = Polynomial(GF8, a), Polynomial(GF8, b)
+        assert (pa * pb).evaluate(x) == GF8.mul(pa.evaluate(x), pb.evaluate(x))
+
+    def test_mul_degrees_add(self):
+        assert (poly(0, 1) * poly(0, 0, 1)).degree == 3
+
+    def test_scale(self):
+        assert poly(1, 1).scale(7).evaluate(0) == 7
+
+    def test_cross_field_rejected(self):
+        from repro.gf.field import GF4
+        with pytest.raises(FieldError):
+            poly(1) + Polynomial(GF4, [1])
+
+
+class TestDivision:
+    @given(coeff_lists, st.lists(st.integers(0, 255), min_size=1, max_size=5))
+    def test_divmod_invariant(self, a, b):
+        pa = Polynomial(GF8, a)
+        pb = Polynomial(GF8, b)
+        if pb.is_zero():
+            return
+        q, r = pa.divmod(pb)
+        assert q * pb + r == pa
+        assert r.degree < pb.degree or r.is_zero()
+
+    def test_division_by_zero(self):
+        with pytest.raises(DivisionByZeroError):
+            poly(1, 2).divmod(Polynomial.zero(GF8))
+
+    def test_floordiv_mod_operators(self):
+        a, b = poly(1, 0, 1), poly(1, 1)
+        assert (a // b) * b + (a % b) == a
+
+
+class TestEvaluation:
+    def test_horner_matches_naive(self):
+        p = poly(3, 1, 4, 1, 5)
+        x = 97
+        naive = 0
+        for i, c in enumerate(p.coeffs):
+            naive ^= GF8.mul(c, GF8.pow(x, i))
+        assert p.evaluate(x) == naive
+
+    def test_evaluate_many(self):
+        p = poly(1, 1)
+        assert p.evaluate_many([0, 1, 2]) == [1, 0, 3]
+
+    def test_evaluate_rejects_out_of_field(self):
+        with pytest.raises(FieldError):
+            poly(1).evaluate(256)
+
+
+class TestInterpolation:
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=6, unique=True),
+           st.integers(0, 1000))
+    def test_interpolation_reproduces_points(self, xs, seed):
+        import random
+        rng = random.Random(seed)
+        points = [(x, rng.randrange(256)) for x in xs]
+        p = Polynomial.interpolate(GF8, points)
+        for x, y in points:
+            assert p.evaluate(x) == y
+        assert p.degree < len(points)
+
+    def test_duplicate_x_rejected(self):
+        with pytest.raises(FieldError):
+            Polynomial.interpolate(GF8, [(1, 2), (1, 3)])
+
+
+class TestDerivative:
+    def test_even_terms_vanish(self):
+        p = poly(7, 5, 3, 2)  # 7 + 5x + 3x^2 + 2x^3
+        d = p.derivative()
+        assert d.coeffs == (5, 0, 2)
+
+    def test_constant_derivative_is_zero(self):
+        assert poly(9).derivative().is_zero()

@@ -1,0 +1,92 @@
+"""Tests for GF(2^w) table generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gf.tables import (
+    PRIMITIVE_POLYNOMIALS,
+    get_tables,
+    supported_widths,
+)
+
+
+def test_supported_widths_are_sorted():
+    assert supported_widths() == (4, 8, 16)
+
+
+@pytest.mark.parametrize("w", supported_widths())
+def test_exp_table_covers_all_nonzero_elements(w):
+    t = get_tables(w)
+    first_cycle = t.exp[: t.group_order]
+    assert len(set(int(x) for x in first_cycle)) == t.group_order
+    assert 0 not in first_cycle
+
+
+@pytest.mark.parametrize("w", supported_widths())
+def test_exp_table_is_doubled_for_modless_lookup(w):
+    t = get_tables(w)
+    assert len(t.exp) == 2 * t.group_order
+    assert np.array_equal(t.exp[: t.group_order], t.exp[t.group_order :])
+
+
+@pytest.mark.parametrize("w", supported_widths())
+def test_log_exp_are_inverse(w):
+    t = get_tables(w)
+    for a in range(1, min(t.order, 300)):
+        assert int(t.exp[int(t.log[a])]) == a
+
+
+@pytest.mark.parametrize("w", supported_widths())
+def test_inverse_table(w):
+    t = get_tables(w)
+    # Verify a*inv(a) == 1 via log arithmetic for a sample of elements.
+    for a in range(1, min(t.order, 300)):
+        inv = int(t.inv[a])
+        prod = int(t.exp[int(t.log[a]) + int(t.log[inv])])
+        assert prod == 1
+
+
+@pytest.mark.parametrize("w", supported_widths())
+def test_generator_is_two(w):
+    t = get_tables(w)
+    assert int(t.exp[0]) == 1
+    assert int(t.exp[1]) == 2
+
+
+def test_log_zero_is_sentinel():
+    t = get_tables(8)
+    assert int(t.log[0]) == t.group_order
+
+
+def test_inv_zero_is_sentinel_zero():
+    t = get_tables(8)
+    assert int(t.inv[0]) == 0
+
+
+def test_unsupported_width_raises():
+    with pytest.raises(ConfigurationError):
+        get_tables(5)
+
+
+def test_tables_are_cached():
+    assert get_tables(8) is get_tables(8)
+
+
+def test_tables_are_readonly():
+    t = get_tables(4)
+    with pytest.raises(ValueError):
+        t.exp[0] = 5
+
+
+@pytest.mark.parametrize("w", supported_widths())
+def test_dtype_matches_width(w):
+    t = get_tables(w)
+    expected = np.uint8 if w <= 8 else np.uint16
+    assert t.dtype == np.dtype(expected)
+
+
+def test_primitive_polynomials_match_jerasure():
+    assert PRIMITIVE_POLYNOMIALS[4] == 0x13
+    assert PRIMITIVE_POLYNOMIALS[8] == 0x11D
+    assert PRIMITIVE_POLYNOMIALS[16] == 0x1100B

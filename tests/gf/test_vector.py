@@ -1,0 +1,161 @@
+"""Tests for vectorised GF buffer kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import FieldError
+from repro.gf.field import GF8, GF16
+from repro.gf.vector import (
+    as_field_buffer,
+    axpy,
+    buffer_dtype,
+    dot_rows,
+    matrix_apply,
+    mul_scalar,
+    scale_inplace,
+    xor_into,
+)
+
+buf8 = arrays(np.uint8, st.integers(min_value=1, max_value=64),
+              elements=st.integers(min_value=0, max_value=255))
+coeff8 = st.integers(min_value=0, max_value=255)
+
+
+def test_buffer_dtype():
+    assert buffer_dtype(GF8) == np.uint8
+    assert buffer_dtype(GF16) == np.uint16
+
+
+class TestAsFieldBuffer:
+    def test_bytes_roundtrip(self):
+        buf = as_field_buffer(GF8, b"\x01\x02\x03")
+        assert buf.tolist() == [1, 2, 3]
+
+    def test_gf16_pairs_bytes(self):
+        buf = as_field_buffer(GF16, b"\x01\x02\x03\x04")
+        assert buf.dtype == np.uint16
+        assert len(buf) == 2
+
+    def test_gf16_odd_length_rejected(self):
+        with pytest.raises(FieldError):
+            as_field_buffer(GF16, b"\x01\x02\x03")
+
+    def test_ndarray_wrong_dtype_rejected(self):
+        with pytest.raises(FieldError):
+            as_field_buffer(GF8, np.zeros(4, dtype=np.uint16))
+
+    def test_ndarray_passthrough_flattens(self):
+        arr = np.arange(6, dtype=np.uint8).reshape(2, 3)
+        assert as_field_buffer(GF8, arr).shape == (6,)
+
+
+class TestMulScalar:
+    @given(buf8, coeff8)
+    def test_matches_scalar_mul(self, buf, c):
+        out = mul_scalar(GF8, c, buf)
+        for x, y in zip(buf.tolist(), out.tolist()):
+            assert y == GF8.mul(c, x)
+
+    def test_zero_gives_zeros(self):
+        buf = np.array([1, 2, 3], dtype=np.uint8)
+        assert not mul_scalar(GF8, 0, buf).any()
+
+    def test_one_copies(self):
+        buf = np.array([1, 2, 3], dtype=np.uint8)
+        out = mul_scalar(GF8, 1, buf)
+        assert np.array_equal(out, buf)
+        assert out is not buf
+
+    def test_input_not_mutated(self):
+        buf = np.array([9, 9], dtype=np.uint8)
+        mul_scalar(GF8, 7, buf)
+        assert buf.tolist() == [9, 9]
+
+
+class TestScaleInplace:
+    @given(buf8, coeff8)
+    def test_matches_mul_scalar(self, buf, c):
+        expected = mul_scalar(GF8, c, buf)
+        work = buf.copy()
+        scale_inplace(GF8, c, work)
+        assert np.array_equal(work, expected)
+
+
+class TestAxpy:
+    @given(buf8, coeff8)
+    def test_matches_definition(self, x, c):
+        y = np.zeros_like(x)
+        axpy(GF8, c, x, y)
+        assert np.array_equal(y, mul_scalar(GF8, c, x))
+
+    def test_zero_coeff_noop(self):
+        x = np.array([5], dtype=np.uint8)
+        y = np.array([7], dtype=np.uint8)
+        axpy(GF8, 0, x, y)
+        assert y.tolist() == [7]
+
+    def test_one_coeff_is_xor(self):
+        x = np.array([0b1100], dtype=np.uint8)
+        y = np.array([0b1010], dtype=np.uint8)
+        axpy(GF8, 1, x, y)
+        assert y.tolist() == [0b0110]
+
+
+class TestXorInto:
+    def test_basic(self):
+        dst = np.array([1, 2], dtype=np.uint8)
+        xor_into(dst, np.array([3, 2], dtype=np.uint8))
+        assert dst.tolist() == [2, 0]
+
+
+class TestDotRows:
+    def test_single_term(self):
+        buf = np.array([2, 4], dtype=np.uint8)
+        out = dot_rows(GF8, [3], [buf])
+        assert np.array_equal(out, mul_scalar(GF8, 3, buf))
+
+    @given(st.lists(coeff8, min_size=1, max_size=5), st.integers(0, 1000))
+    def test_linear_in_each_argument(self, coeffs, seed):
+        rng = np.random.default_rng(seed)
+        bufs = [rng.integers(0, 256, 16, dtype=np.uint8) for _ in coeffs]
+        out = dot_rows(GF8, coeffs, bufs)
+        expected = np.zeros(16, dtype=np.uint8)
+        for c, b in zip(coeffs, bufs):
+            expected ^= mul_scalar(GF8, c, b)
+        assert np.array_equal(out, expected)
+
+    def test_length_mismatch(self):
+        with pytest.raises(FieldError):
+            dot_rows(GF8, [1, 2], [np.zeros(2, dtype=np.uint8)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(FieldError):
+            dot_rows(GF8, [], [])
+
+    def test_grouping_invariance(self):
+        """Associativity of the combination — the partial-decode property."""
+        rng = np.random.default_rng(1)
+        coeffs = [5, 9, 200, 77]
+        bufs = [rng.integers(0, 256, 32, dtype=np.uint8) for _ in coeffs]
+        whole = dot_rows(GF8, coeffs, bufs)
+        left = dot_rows(GF8, coeffs[:2], bufs[:2])
+        right = dot_rows(GF8, coeffs[2:], bufs[2:])
+        assert np.array_equal(whole, left ^ right)
+
+
+class TestMatrixApply:
+    def test_identity(self):
+        rng = np.random.default_rng(2)
+        bufs = [rng.integers(0, 256, 8, dtype=np.uint8) for _ in range(3)]
+        eye = np.eye(3, dtype=np.uint8)
+        out = matrix_apply(GF8, eye, bufs)
+        for a, b in zip(out, bufs):
+            assert np.array_equal(a, b)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(FieldError):
+            matrix_apply(GF8, np.zeros((2, 3), dtype=np.uint8),
+                         [np.zeros(4, dtype=np.uint8)] * 2)

@@ -1,0 +1,70 @@
+"""Tests for the fabric link model."""
+
+import pytest
+
+from repro.cluster.topology import BandwidthProfile, ClusterTopology
+from repro.errors import FlowError
+from repro.network.links import FabricModel, gbps_to_bytes_per_s
+
+
+@pytest.fixture
+def fabric():
+    topo = ClusterTopology.from_rack_sizes(
+        [2, 2], bandwidth=BandwidthProfile(node_nic_gbps=1.0, rack_uplink_gbps=0.5)
+    )
+    return FabricModel(topo)
+
+
+class TestConversion:
+    def test_gbps_to_bytes(self):
+        assert gbps_to_bytes_per_s(1.0) == 125e6
+        assert gbps_to_bytes_per_s(8.0) == 1e9
+
+
+class TestLinks:
+    def test_link_count_without_core(self, fabric):
+        # 4 nodes * 2 + 2 racks * 2, infinite core omitted.
+        assert fabric.num_links == 12
+
+    def test_core_link_when_finite(self):
+        topo = ClusterTopology.from_rack_sizes(
+            [2, 2], bandwidth=BandwidthProfile(core_gbps=10.0)
+        )
+        fabric = FabricModel(topo)
+        assert fabric.num_links == 13
+        assert any(l.name == "core" for l in fabric.links)
+
+    def test_capacities_match_profile(self, fabric):
+        uplink = fabric.rack_uplink(0)
+        assert uplink.capacity == gbps_to_bytes_per_s(0.5)
+        down = fabric.node_downlink(3)
+        assert down.capacity == gbps_to_bytes_per_s(1.0)
+
+    def test_link_names_unique(self, fabric):
+        names = [l.name for l in fabric.links]
+        assert len(names) == len(set(names))
+
+
+class TestPaths:
+    def test_intra_rack_path(self, fabric):
+        path = fabric.path(0, 1)
+        assert len(path) == 2
+        names = [fabric.link(l).name for l in path]
+        assert names == ["A1.n0.up", "A1.n1.down"]
+
+    def test_cross_rack_path(self, fabric):
+        path = fabric.path(0, 3)
+        names = [fabric.link(l).name for l in path]
+        assert names == ["A1.n0.up", "A1.uplink", "A2.downlink", "A2.n1.down"]
+
+    def test_cross_rack_path_with_core(self):
+        topo = ClusterTopology.from_rack_sizes(
+            [1, 1], bandwidth=BandwidthProfile(core_gbps=4.0)
+        )
+        fabric = FabricModel(topo)
+        names = [fabric.link(l).name for l in fabric.path(0, 1)]
+        assert "core" in names
+
+    def test_self_flow_rejected(self, fabric):
+        with pytest.raises(FlowError):
+            fabric.path(2, 2)

@@ -1,0 +1,74 @@
+"""Tests for traffic reports and reduction ratios."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.recovery.metrics import reduction_ratio, traffic_report
+from repro.recovery.solution import MultiStripeSolution, PerStripeSolution
+
+
+def simple_solution(aggregated=True):
+    s0 = PerStripeSolution(
+        stripe_id=0,
+        lost_chunk=0,
+        failed_rack=0,
+        chunks_by_rack={0: (1,), 1: (2, 3), 2: (4,)},
+    )
+    s1 = PerStripeSolution(
+        stripe_id=1,
+        lost_chunk=5,
+        failed_rack=0,
+        chunks_by_rack={1: (1, 2), 2: (3, 4)},
+    )
+    return MultiStripeSolution([s0, s1], num_racks=3, aggregated=aggregated)
+
+
+class TestTrafficReport:
+    def test_aggregated_counts(self):
+        report = traffic_report(simple_solution(True), 1024, "CAR")
+        assert report.per_rack_chunks == (0, 2, 2)
+        assert report.total_chunks == 4
+        assert report.total_bytes == 4 * 1024
+        assert report.num_stripes == 2
+        assert report.strategy == "CAR"
+
+    def test_direct_counts(self):
+        report = traffic_report(simple_solution(False), 1024)
+        assert report.per_rack_chunks == (0, 4, 3)
+
+    def test_per_rack_bytes(self):
+        report = traffic_report(simple_solution(True), 10)
+        assert report.per_rack_bytes == (0, 20, 20)
+
+    def test_max_rack(self):
+        assert traffic_report(simple_solution(False), 1).max_rack_chunks == 4
+
+    def test_per_stripe(self):
+        assert traffic_report(simple_solution(True), 1).per_stripe_chunks() == 2.0
+
+    def test_lambda_included(self):
+        report = traffic_report(simple_solution(True), 1)
+        assert report.lambda_rate == pytest.approx(1.0)
+
+    def test_nonpositive_chunk_size_rejected(self):
+        with pytest.raises(RecoveryError):
+            traffic_report(simple_solution(), 0)
+
+
+class TestReduction:
+    def test_basic(self):
+        base = traffic_report(simple_solution(False), 1, "RR")
+        better = traffic_report(simple_solution(True), 1, "CAR")
+        assert reduction_ratio(base, better) == pytest.approx(1 - 4 / 7)
+
+    def test_zero_baseline_rejected(self):
+        s = PerStripeSolution(
+            stripe_id=0,
+            lost_chunk=0,
+            failed_rack=0,
+            chunks_by_rack={0: (1, 2)},
+        )
+        ms = MultiStripeSolution([s], num_racks=2, aggregated=True)
+        base = traffic_report(ms, 1)
+        with pytest.raises(RecoveryError):
+            reduction_ratio(base, base)

@@ -1,0 +1,137 @@
+"""Tests for recovery-plan construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.failure import FailureInjector
+from repro.cluster.placement import RandomPlacementPolicy
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import ClusterTopology
+from repro.erasure.rs import RSCode
+from repro.recovery.baselines import CarStrategy, RandomRecoveryStrategy
+from repro.recovery.planner import plan_recovery
+
+
+def failed_cluster(seed=0, stripes=15, racks=(4, 3, 3, 3), k=6, m=3):
+    code = RSCode(k, m)
+    topo = ClusterTopology.from_rack_sizes(list(racks))
+    placement = RandomPlacementPolicy(rng=seed).place(topo, stripes, k, m)
+    state = ClusterState(topo, code, placement)
+    event = FailureInjector(rng=seed).fail_random_node(state)
+    return state, event
+
+
+class TestAggregatedPlan:
+    def test_plan_traffic_matches_solution(self):
+        state, event = failed_cluster()
+        sol = CarStrategy().solve(state)
+        plan = plan_recovery(state, event, sol)
+        assert plan.cross_rack_chunks() == sol.total_cross_rack_traffic()
+        assert (
+            plan.cross_rack_by_rack(state.topology.num_racks)
+            == sol.traffic_by_rack()
+        )
+
+    def test_one_partial_flow_per_intact_rack(self):
+        state, event = failed_cluster(seed=1)
+        sol = CarStrategy().solve(state)
+        plan = plan_recovery(state, event, sol)
+        for sp, s in zip(plan.stripe_plans, sol.solutions):
+            partials = [t for t in sp.transfers if t.is_partial]
+            assert len(partials) == s.num_intact_racks
+            # Every partial ends at the replacement node.
+            assert all(t.dst_node == event.replacement_node for t in partials)
+
+    def test_delegates_hold_a_retrieved_chunk(self):
+        state, event = failed_cluster(seed=2)
+        sol = CarStrategy().solve(state)
+        plan = plan_recovery(state, event, sol)
+        for sp, s in zip(plan.stripe_plans, sol.solutions):
+            for rack, delegate in sp.delegates.items():
+                assert state.topology.rack_of(delegate) == rack
+                held = {
+                    c
+                    for (stripe, c) in state.placement.chunks_on_node(delegate)
+                    if stripe == sp.stripe_id
+                }
+                assert held & set(s.chunks_from_rack(rack))
+
+    def test_intra_rack_flows_stay_in_rack(self):
+        state, event = failed_cluster(seed=3)
+        sol = CarStrategy().solve(state)
+        plan = plan_recovery(state, event, sol)
+        for t in plan.all_transfers():
+            if not t.cross_rack:
+                assert t.src_rack == t.dst_rack
+            assert t.src_node != t.dst_node
+
+    def test_compute_kinds(self):
+        state, event = failed_cluster(seed=4)
+        sol = CarStrategy().solve(state)
+        plan = plan_recovery(state, event, sol)
+        for sp in plan.stripe_plans:
+            kinds = [c.kind for c in sp.compute]
+            assert kinds.count("final") == 1
+            assert all(k in ("partial", "local", "final") for k in kinds)
+            final = next(c for c in sp.compute if c.kind == "final")
+            assert final.node == event.replacement_node
+
+    def test_partial_inputs_sum_to_k(self):
+        state, event = failed_cluster(seed=5)
+        sol = CarStrategy().solve(state)
+        plan = plan_recovery(state, event, sol)
+        for sp in plan.stripe_plans:
+            total = sum(
+                c.input_chunks
+                for c in sp.compute
+                if c.kind in ("partial", "local")
+            )
+            assert total == state.code.k
+
+
+class TestDirectPlan:
+    def test_every_helper_flows_to_replacement(self):
+        state, event = failed_cluster(seed=6)
+        sol = RandomRecoveryStrategy(rng=6).solve(state)
+        plan = plan_recovery(state, event, sol)
+        for sp in plan.stripe_plans:
+            assert len(sp.transfers) == state.code.k
+            assert all(
+                t.dst_node == event.replacement_node for t in sp.transfers
+            )
+            assert not sp.delegates
+
+    def test_traffic_matches_solution(self):
+        state, event = failed_cluster(seed=7)
+        sol = RandomRecoveryStrategy(rng=7).solve(state)
+        plan = plan_recovery(state, event, sol)
+        assert plan.cross_rack_chunks() == sol.total_cross_rack_traffic()
+
+    def test_final_decode_covers_all_helpers(self):
+        state, event = failed_cluster(seed=8)
+        sol = RandomRecoveryStrategy(rng=8).solve(state)
+        plan = plan_recovery(state, event, sol)
+        for sp, s in zip(plan.stripe_plans, sol.solutions):
+            (final,) = sp.compute
+            assert final.kind == "final"
+            assert final.input_chunks == state.code.k
+            assert final.chunks == s.helpers
+
+
+class TestPlanInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 200))
+    def test_intra_plus_cross_counts(self, seed):
+        """Every retrieved chunk is moved at most once as raw data, and
+        aggregated plans ship exactly d_j partials per stripe."""
+        state, event = failed_cluster(seed=seed)
+        sol = CarStrategy().solve(state)
+        plan = plan_recovery(state, event, sol)
+        for sp, s in zip(plan.stripe_plans, sol.solutions):
+            raw = [t for t in sp.transfers if not t.is_partial]
+            # Raw flows never cross racks under aggregation.
+            assert all(not t.cross_rack for t in raw)
+            moved = {t.chunk_index for t in raw}
+            assert len(moved) == len(raw)  # no chunk moved twice
+            assert moved <= set(s.helpers)

@@ -1,0 +1,219 @@
+"""Tests for Theorem 1 and per-stripe solution construction.
+
+Includes the brute-force minimality check: the sorted-prefix rule of
+Theorem 1 must agree with exhaustive search over all rack subsets.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.placement import RandomPlacementPolicy
+from repro.cluster.state import ClusterState, StripeView
+from repro.cluster.topology import ClusterTopology
+from repro.erasure.rs import RSCode
+from repro.errors import NoValidSolutionError, RecoveryError
+from repro.recovery.selector import (
+    CarSelector,
+    build_solution,
+    iter_valid_rack_sets,
+    min_racks_needed,
+)
+
+
+def make_view(rack_counts, failed_rack=0, stripe_id=0):
+    """A synthetic StripeView with the given surviving counts per rack.
+
+    Surviving chunk indices are assigned densely; node ids are faked so
+    chunks_in_rack works through a matching topology built alongside.
+    """
+    topo = ClusterTopology.from_rack_sizes([max(1, c) for c in rack_counts])
+    surviving = {}
+    chunk = 0
+    for rack, count in enumerate(rack_counts):
+        nodes = topo.nodes_in_rack(rack)
+        for i in range(count):
+            surviving[chunk] = nodes[i % len(nodes)]
+            chunk += 1
+    # Ensure one chunk per node: rebuild topology if a rack has fewer
+    # nodes than chunks (tests use counts <= rack size).
+    view = StripeView(
+        stripe_id=stripe_id,
+        lost_chunk=99,
+        surviving=surviving,
+        rack_counts=tuple(rack_counts),
+        failed_rack=failed_rack,
+    )
+    return view, topo
+
+
+class TestTheorem1:
+    def test_worked_example_from_paper(self):
+        """Figure 4: counts (3 local after failure, 1, 3, 2, 4), k=8 -> d=2."""
+        view, _ = make_view([3, 1, 3, 2, 4], failed_rack=0)
+        assert min_racks_needed(view, k=8) == 2
+
+    def test_zero_racks_when_local_suffices(self):
+        view, _ = make_view([4, 1, 1], failed_rack=0)
+        assert min_racks_needed(view, k=4) == 0
+
+    def test_unrecoverable_raises(self):
+        view, _ = make_view([1, 1, 1], failed_rack=0)
+        with pytest.raises(NoValidSolutionError):
+            min_racks_needed(view, k=5)
+
+    def test_exactly_k_survivors(self):
+        view, _ = make_view([0, 2, 2], failed_rack=0)
+        assert min_racks_needed(view, k=4) == 2
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        counts=st.lists(st.integers(0, 4), min_size=2, max_size=6),
+        k=st.integers(1, 12),
+        data=st.data(),
+    )
+    def test_matches_bruteforce_minimum(self, counts, k, data):
+        """Theorem 1's d equals exhaustive search over rack subsets."""
+        failed = data.draw(st.integers(0, len(counts) - 1))
+        view, _ = make_view(counts, failed_rack=failed)
+        intact = [i for i in range(len(counts)) if i != failed]
+        local = counts[failed]
+        feasible = local + sum(counts[i] for i in intact) >= k
+        if not feasible:
+            with pytest.raises(NoValidSolutionError):
+                min_racks_needed(view, k)
+            return
+        d = min_racks_needed(view, k)
+        brute = next(
+            size
+            for size in range(len(intact) + 1)
+            if any(
+                local + sum(counts[i] for i in combo) >= k
+                for combo in itertools.combinations(intact, size)
+            )
+        )
+        assert d == brute
+
+
+class TestValidRackSets:
+    def test_paper_example_has_two_valid_sets(self):
+        """Figure 4 discussion: {A3, A5} and {A3, A4} are both valid."""
+        view, _ = make_view([3, 1, 3, 2, 4], failed_rack=0)
+        sets = list(iter_valid_rack_sets(view, k=8))
+        assert (2, 4) in sets
+        assert (2, 3) in sets
+        # {A2, anything smaller} cannot reach 8.
+        assert (1, 3) not in sets
+
+    def test_all_sets_have_min_size_and_suffice(self):
+        view, _ = make_view([2, 3, 1, 2, 2], failed_rack=1)
+        k = 6
+        d = min_racks_needed(view, k)
+        for rs in iter_valid_rack_sets(view, k):
+            assert len(rs) == d
+            assert view.rack_counts[1] + sum(
+                view.rack_counts[r] for r in rs
+            ) >= k
+            assert 1 not in rs
+
+    def test_local_only_yields_empty_set(self):
+        view, _ = make_view([4, 1], failed_rack=0)
+        assert list(iter_valid_rack_sets(view, k=3)) == [()]
+
+
+class TestBuildSolution:
+    def make_state(self, seed=0):
+        code = RSCode(6, 3)
+        topo = ClusterTopology.from_rack_sizes([4, 3, 3, 3])
+        placement = RandomPlacementPolicy(rng=seed).place(topo, 10, 6, 3)
+        state = ClusterState(topo, code, placement)
+        state.fail_node(placement.node_of(0, 0))
+        return state
+
+    def test_solution_has_exactly_k_helpers(self):
+        state = self.make_state()
+        selector = CarSelector(state.topology, state.code.k)
+        for view in state.views():
+            s = selector.initial_solution(view)
+            assert s.helper_count == state.code.k
+
+    def test_solution_uses_min_racks(self):
+        state = self.make_state()
+        selector = CarSelector(state.topology, state.code.k)
+        for view in state.views():
+            s = selector.initial_solution(view)
+            assert s.num_intact_racks == selector.min_racks(view)
+
+    def test_local_chunks_always_used_first(self):
+        state = self.make_state()
+        selector = CarSelector(state.topology, state.code.k)
+        for view in state.views():
+            s = selector.initial_solution(view)
+            local = view.rack_counts[view.failed_rack]
+            if local and s.num_intact_racks > 0:
+                assert len(s.chunks_from_rack(view.failed_rack)) == min(
+                    local, state.code.k
+                )
+
+    def test_every_valid_solution_is_buildable(self):
+        state = self.make_state(seed=3)
+        selector = CarSelector(state.topology, state.code.k)
+        for view in state.views():
+            for s in selector.all_valid_solutions(view):
+                assert s.helper_count == state.code.k
+                assert set(s.intact_racks_accessed).isdisjoint(
+                    {view.failed_rack}
+                )
+
+    def test_rejects_failed_rack_in_set(self):
+        state = self.make_state()
+        view = state.views()[0]
+        with pytest.raises(RecoveryError):
+            build_solution(
+                view, [view.failed_rack], state.code.k, state.topology
+            )
+
+    def test_rejects_insufficient_rack_set(self):
+        view, topo = make_view([0, 1, 5], failed_rack=0)
+        with pytest.raises(RecoveryError):
+            build_solution(view, [1], 6, topo)
+
+    def test_rejects_superfluous_rack_set(self):
+        view, topo = make_view([6, 2, 2], failed_rack=0)
+        with pytest.raises(RecoveryError):
+            build_solution(view, [1], 4, topo)  # local already covers k
+
+
+class TestSubstitute:
+    def test_substitute_moves_one_rack(self):
+        view, topo = make_view([1, 3, 3, 3], failed_rack=0)
+        selector = CarSelector(topo, k=4)
+        current = selector.initial_solution(view)
+        used = current.intact_racks_accessed[0]
+        unused = next(
+            r for r in (1, 2, 3) if r not in current.intact_racks_accessed
+        )
+        replacement = selector.substitute(view, current, used, unused)
+        assert replacement is not None
+        assert not replacement.uses_rack(used)
+        assert replacement.uses_rack(unused)
+        assert replacement.num_intact_racks == current.num_intact_racks
+
+    def test_substitute_refuses_invalid_target(self):
+        view, topo = make_view([1, 4, 1, 1], failed_rack=0)
+        selector = CarSelector(topo, k=5)
+        current = selector.initial_solution(view)  # must use rack 1
+        # Swapping rack 1 (4 chunks) for rack 2 (1 chunk) cannot reach k.
+        assert selector.substitute(view, current, 1, 2) is None
+
+    def test_substitute_noop_when_racks_not_applicable(self):
+        view, topo = make_view([1, 3, 3, 3], failed_rack=0)
+        selector = CarSelector(topo, k=4)
+        current = selector.initial_solution(view)
+        used = current.intact_racks_accessed[0]
+        assert selector.substitute(view, current, 99, 1) is None  # not used
+        assert selector.substitute(view, current, used, used) is None
+        assert selector.substitute(view, current, used, 0) is None  # failed rack

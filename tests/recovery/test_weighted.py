@@ -1,0 +1,152 @@
+"""Tests for the bandwidth-aware (weighted) balancer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.failure import FailureInjector
+from repro.cluster.placement import RandomPlacementPolicy
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import ClusterTopology
+from repro.erasure.rs import RSCode
+from repro.errors import ConfigurationError, RecoveryError
+from repro.recovery.balancer import GreedyLoadBalancer
+from repro.recovery.selector import CarSelector
+from repro.recovery.solution import MultiStripeSolution
+from repro.recovery.weighted import (
+    BandwidthAwareBalancer,
+    drain_times,
+)
+
+
+def setup(seed=0, stripes=40, racks=(4, 3, 3, 3), k=6, m=3):
+    code = RSCode(k, m)
+    topo = ClusterTopology.from_rack_sizes(list(racks))
+    placement = RandomPlacementPolicy(rng=seed).place(topo, stripes, k, m)
+    state = ClusterState(topo, code, placement)
+    FailureInjector(rng=seed).fail_random_node(state)
+    selector = CarSelector(topo, k)
+    views = {v.stripe_id: v for v in state.views()}
+    initial = MultiStripeSolution(
+        [selector.initial_solution(v) for v in views.values()],
+        num_racks=topo.num_racks,
+        aggregated=True,
+    )
+    return state, views, initial, selector
+
+
+class TestDrainTimes:
+    def test_basic(self):
+        assert drain_times([4, 2], [2.0, 1.0]) == [2.0, 2.0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            drain_times([1], [1.0, 2.0])
+
+    def test_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            drain_times([1, 1], [1.0, 0.0])
+
+
+class TestValidation:
+    def test_capacity_count_checked(self):
+        state, views, initial, selector = setup()
+        balancer = BandwidthAwareBalancer([1.0, 1.0])  # wrong count
+        with pytest.raises(ConfigurationError):
+            balancer.balance(views, initial, selector)
+
+    def test_rejects_unaggregated(self):
+        state, views, initial, selector = setup()
+        direct = MultiStripeSolution(
+            initial.solutions, num_racks=initial.num_racks, aggregated=False
+        )
+        balancer = BandwidthAwareBalancer([1.0] * initial.num_racks)
+        with pytest.raises(RecoveryError):
+            balancer.balance(views, direct, selector)
+
+    def test_negative_iterations(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthAwareBalancer([1.0], iterations=-1)
+
+
+class TestUniformCapacitiesMatchAlgorithm2:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 300))
+    def test_same_final_max_traffic(self, seed):
+        """With equal capacities the weighted rule is Equation 8, so the
+        achieved maximum per-rack traffic matches Algorithm 2's."""
+        state, views, initial, selector = setup(seed=seed)
+        uniform = BandwidthAwareBalancer(
+            [1.0] * initial.num_racks, iterations=100
+        )
+        weighted_out, _ = uniform.balance(views, initial, selector)
+        plain_out, _ = GreedyLoadBalancer(iterations=100).balance(
+            views, initial, selector
+        )
+        assert max(weighted_out.traffic_by_rack()) == max(
+            plain_out.traffic_by_rack()
+        )
+
+
+class TestHeterogeneous:
+    CAPS = [1.0, 0.25, 1.0, 1.0]  # rack A2 has a quarter-speed uplink
+
+    def test_max_drain_monotone(self):
+        state, views, initial, selector = setup(seed=3)
+        balancer = BandwidthAwareBalancer(self.CAPS, iterations=100)
+        _, trace = balancer.balance(views, initial, selector)
+        for a, b in zip(trace.max_drain_times, trace.max_drain_times[1:]):
+            assert b <= a + 1e-9
+        assert trace.final <= trace.initial
+
+    def test_total_traffic_invariant(self):
+        state, views, initial, selector = setup(seed=4)
+        balancer = BandwidthAwareBalancer(self.CAPS, iterations=100)
+        out, _ = balancer.balance(views, initial, selector)
+        assert (
+            out.total_cross_rack_traffic()
+            == initial.total_cross_rack_traffic()
+        )
+
+    def test_slow_rack_gets_less_traffic_than_unweighted(self):
+        """The point of the extension: the quarter-speed uplink ends up
+        carrying fewer chunks than under capacity-blind balancing."""
+        results = {}
+        for label, balancer in (
+            ("plain", GreedyLoadBalancer(iterations=100)),
+            ("weighted", BandwidthAwareBalancer(self.CAPS, iterations=100)),
+        ):
+            state, views, initial, selector = setup(seed=5)
+            if state.topology.rack_of(state.failed_node) == 1:
+                pytest.skip("failed rack is the slow rack for this seed")
+            out, _ = balancer.balance(views, initial, selector)
+            results[label] = out.traffic_by_rack()
+        assert results["weighted"][1] <= results["plain"][1]
+
+    def test_weighted_beats_plain_on_drain_time(self):
+        improvements = 0
+        for seed in range(8):
+            state, views, initial, selector = setup(seed=seed)
+            if state.topology.rack_of(state.failed_node) == 1:
+                continue
+            plain_out, _ = GreedyLoadBalancer(iterations=100).balance(
+                views, initial, selector
+            )
+            weighted_out, _ = BandwidthAwareBalancer(
+                self.CAPS, iterations=100
+            ).balance(views, initial, selector)
+            intact = [
+                r for r in range(4) if r != weighted_out.failed_rack
+            ]
+            plain_drain = max(
+                drain_times(plain_out.traffic_by_rack(), self.CAPS)[r]
+                for r in intact
+            )
+            weighted_drain = max(
+                drain_times(weighted_out.traffic_by_rack(), self.CAPS)[r]
+                for r in intact
+            )
+            assert weighted_drain <= plain_drain + 1e-9
+            if weighted_drain < plain_drain - 1e-9:
+                improvements += 1
+        assert improvements > 0

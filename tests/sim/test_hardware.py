@@ -1,0 +1,93 @@
+"""Tests for hardware profiles and the timing rates."""
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.errors import ConfigurationError
+from repro.sim.hardware import TABLE_III_PROFILES, HardwareModel, NodeHardware
+
+
+def profile(**overrides):
+    base = dict(
+        name="test",
+        cpu_label="cpu",
+        memory_gb=8,
+        os_label="linux",
+        disk_label="1TB",
+        gf_mbps=1000.0,
+        disk_read_mbps=100.0,
+        disk_write_mbps=100.0,
+    )
+    base.update(overrides)
+    return NodeHardware(**base)
+
+
+class TestNodeHardware:
+    def test_table_iii_has_five_racks(self):
+        assert len(TABLE_III_PROFILES) == 5
+        assert [p.name for p in TABLE_III_PROFILES] == ["A1", "A2", "A3", "A4", "A5"]
+
+    def test_a1_is_the_slow_opteron(self):
+        a1 = TABLE_III_PROFILES[0]
+        assert "Opteron" in a1.cpu_label
+        assert a1.gf_mbps < TABLE_III_PROFILES[1].gf_mbps
+
+    def test_identical_xeon_racks(self):
+        """A2 and A5 have the same CPU class in Table III."""
+        assert TABLE_III_PROFILES[1].gf_mbps == TABLE_III_PROFILES[4].gf_mbps
+
+    def test_gf_seconds_linear(self):
+        p = profile()
+        assert p.gf_seconds(2e6) == pytest.approx(2 * p.gf_seconds(1e6))
+
+    def test_gf_seconds_wide_combines_faster(self):
+        p = profile(combine_efficiency=0.1)
+        narrow = p.gf_seconds(1e6, inputs=1)
+        wide = p.gf_seconds(1e6, inputs=10)
+        assert wide < narrow
+        assert wide == pytest.approx(narrow / 1.9)
+
+    def test_xor_defaults_to_4x_gf(self):
+        p = profile()
+        assert p.xor_mbps == 4000.0
+        assert p.xor_seconds(4e6) == pytest.approx(p.gf_seconds(1e6))
+
+    def test_disk_rates(self):
+        p = profile()
+        assert p.disk_read_seconds(100e6) == pytest.approx(1.0)
+        assert p.disk_write_seconds(50e6) == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(ConfigurationError):
+            profile(gf_mbps=0)
+        with pytest.raises(ConfigurationError):
+            profile(disk_read_mbps=-1)
+
+    def test_rejects_negative_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            profile(combine_efficiency=-0.1)
+
+
+class TestHardwareModel:
+    def test_nodes_inherit_rack_profile(self):
+        topo = ClusterTopology.from_rack_sizes([2, 2, 2])
+        model = HardwareModel(topo)
+        for node in topo.nodes:
+            assert model.profile(node.node_id).name == f"A{node.rack_id + 1}"
+
+    def test_profiles_cycle_for_extra_racks(self):
+        topo = ClusterTopology.from_rack_sizes([1] * 7)
+        model = HardwareModel(topo)
+        assert model.rack_profile(5).name == "A1"
+        assert model.rack_profile(6).name == "A2"
+
+    def test_custom_profiles(self):
+        topo = ClusterTopology.from_rack_sizes([2, 2])
+        model = HardwareModel(topo, rack_profiles=(profile(name="X"),))
+        assert model.profile(0).name == "X"
+        assert model.profile(3).name == "X"
+
+    def test_empty_profiles_rejected(self):
+        topo = ClusterTopology.from_rack_sizes([2])
+        with pytest.raises(ConfigurationError):
+            HardwareModel(topo, rack_profiles=())

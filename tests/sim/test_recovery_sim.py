@@ -1,0 +1,135 @@
+"""Tests for the fluid recovery-time simulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.failure import FailureInjector
+from repro.cluster.placement import RandomPlacementPolicy
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import BandwidthProfile, ClusterTopology
+from repro.erasure.rs import RSCode
+from repro.network.links import FabricModel
+from repro.recovery.baselines import CarStrategy, RandomRecoveryStrategy
+from repro.recovery.planner import plan_recovery
+from repro.sim.hardware import HardwareModel
+from repro.sim.recovery_sim import RecoverySimulator, build_tasks
+
+MB = 1 << 20
+
+
+def failed_cluster(seed=0, stripes=10, k=6, m=3, uplink=1.0):
+    code = RSCode(k, m)
+    topo = ClusterTopology.from_rack_sizes(
+        [4, 3, 3, 3],
+        bandwidth=BandwidthProfile(node_nic_gbps=1.0, rack_uplink_gbps=uplink),
+    )
+    placement = RandomPlacementPolicy(rng=seed).place(topo, stripes, k, m)
+    state = ClusterState(topo, code, placement)
+    event = FailureInjector(rng=seed).fail_random_node(state)
+    return state, event
+
+
+class TestTaskConstruction:
+    def test_all_dependencies_resolve(self):
+        state, event = failed_cluster()
+        sol = CarStrategy().solve(state)
+        plan = plan_recovery(state, event, sol)
+        fabric = FabricModel(state.topology)
+        tasks = build_tasks(
+            state, plan, fabric, HardwareModel(state.topology), 4 * MB
+        )
+        ids = {t.task_id for t in tasks}
+        assert len(ids) == len(tasks)
+        for t in tasks:
+            assert t.deps <= ids
+
+    def test_disk_tasks_optional(self):
+        state, event = failed_cluster()
+        sol = CarStrategy().solve(state)
+        plan = plan_recovery(state, event, sol)
+        fabric = FabricModel(state.topology)
+        with_disk = build_tasks(
+            state, plan, fabric, HardwareModel(state.topology), MB, include_disk=True
+        )
+        without = build_tasks(
+            state, plan, fabric, HardwareModel(state.topology), MB, include_disk=False
+        )
+        assert len(without) < len(with_disk)
+        assert not any(t.tag.startswith("disk") for t in without)
+
+    def test_one_final_task_per_stripe(self):
+        state, event = failed_cluster(seed=2)
+        sol = CarStrategy().solve(state)
+        plan = plan_recovery(state, event, sol)
+        tasks = build_tasks(
+            state,
+            plan,
+            FabricModel(state.topology),
+            HardwareModel(state.topology),
+            MB,
+        )
+        finals = [t for t in tasks if t.tag == "compute:final"]
+        assert len(finals) == len(plan.stripe_plans)
+
+
+class TestSimulation:
+    def test_car_faster_than_rr(self):
+        state, event = failed_cluster(seed=1, stripes=20)
+        simulator = RecoverySimulator(state)
+        times = {}
+        for strat in (CarStrategy(), RandomRecoveryStrategy(rng=1)):
+            sol = strat.solve(state)
+            plan = plan_recovery(state, event, sol)
+            times[strat.name] = simulator.simulate(plan, 4 * MB).time_per_chunk
+        assert times["CAR"] < times["RR"]
+
+    def test_time_scales_roughly_linearly_with_chunk_size(self):
+        state, event = failed_cluster(seed=3)
+        sol = CarStrategy().solve(state)
+        plan = plan_recovery(state, event, sol)
+        simulator = RecoverySimulator(state)
+        t4 = simulator.simulate(plan, 4 * MB).total_time
+        t16 = simulator.simulate(plan, 16 * MB).total_time
+        assert t16 == pytest.approx(4 * t4, rel=0.01)
+
+    def test_oversubscription_slows_recovery(self):
+        fast_state, fast_event = failed_cluster(seed=4, uplink=1.0)
+        slow_state, slow_event = failed_cluster(seed=4, uplink=0.25)
+        results = {}
+        for label, (state, event) in (
+            ("fast", (fast_state, fast_event)),
+            ("slow", (slow_state, slow_event)),
+        ):
+            sol = RandomRecoveryStrategy(rng=4).solve(state)
+            plan = plan_recovery(state, event, sol)
+            results[label] = RecoverySimulator(state).simulate(plan, 4 * MB)
+        assert results["slow"].total_time >= results["fast"].total_time
+
+    def test_timing_fields_consistent(self):
+        state, event = failed_cluster(seed=5)
+        sol = CarStrategy().solve(state)
+        plan = plan_recovery(state, event, sol)
+        timing = RecoverySimulator(state).simulate(plan, 2 * MB)
+        assert timing.num_chunks == len(plan.stripe_plans)
+        assert timing.total_time > 0
+        assert timing.computation_time > 0
+        assert timing.transmission_time > 0
+        assert timing.disk_time > 0
+        assert 0 <= timing.computation_ratio <= 1
+        assert timing.transmission_ratio == pytest.approx(
+            1 - timing.computation_ratio
+        )
+        assert timing.time_per_chunk == pytest.approx(
+            timing.total_time / timing.num_chunks
+        )
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(0, 100))
+    def test_makespan_at_least_bottleneck(self, seed):
+        """The simulated makespan can never beat the busiest link."""
+        state, event = failed_cluster(seed=seed, stripes=8)
+        sol = RandomRecoveryStrategy(rng=seed).solve(state)
+        plan = plan_recovery(state, event, sol)
+        timing = RecoverySimulator(state).simulate(plan, MB)
+        assert timing.total_time >= timing.transmission_time - 1e-9

@@ -1,0 +1,99 @@
+"""Structural tests of the recovery task DAG the simulator executes."""
+
+import pytest
+
+from repro.cluster.failure import FailureInjector
+from repro.cluster.placement import RandomPlacementPolicy
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import ClusterTopology
+from repro.erasure.rs import RSCode
+from repro.network.links import FabricModel
+from repro.recovery.baselines import CarStrategy, RandomRecoveryStrategy
+from repro.recovery.planner import plan_recovery
+from repro.sim.hardware import HardwareModel
+from repro.sim.recovery_sim import build_tasks
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def setup():
+    code = RSCode(6, 3)
+    topo = ClusterTopology.from_rack_sizes([4, 3, 3, 3])
+    placement = RandomPlacementPolicy(rng=8).place(topo, 10, 6, 3)
+    state = ClusterState(topo, code, placement)
+    event = FailureInjector(rng=8).fail_random_node(state)
+    return state, event
+
+
+def tasks_for(state, event, strategy):
+    solution = strategy.solve(state)
+    plan = plan_recovery(state, event, solution)
+    fabric = FabricModel(state.topology)
+    return (
+        build_tasks(state, plan, fabric, HardwareModel(state.topology), MB),
+        plan,
+        solution,
+    )
+
+
+class TestTaskGraphStructure:
+    def test_each_chunk_read_once_per_stripe(self, setup):
+        state, event = setup
+        tasks, plan, solution = tasks_for(state, event, CarStrategy())
+        reads = [t for t in tasks if t.tag == "disk:read"]
+        read_ids = {t.task_id for t in reads}
+        assert len(read_ids) == len(reads)  # no duplicate read tasks
+        # One read per retrieved helper chunk.
+        expected = sum(s.helper_count for s in solution.solutions)
+        assert len(reads) == expected
+
+    def test_partial_flow_depends_on_decode(self, setup):
+        state, event = setup
+        tasks, plan, _ = tasks_for(state, event, CarStrategy())
+        by_id = {t.task_id: t for t in tasks}
+        for t in tasks:
+            if "xfer:partial" in t.task_id:
+                assert len(t.deps) == 1
+                (dep,) = t.deps
+                assert by_id[dep].tag == "compute:partial"
+
+    def test_final_depends_on_all_inbound(self, setup):
+        state, event = setup
+        tasks, plan, solution = tasks_for(state, event, CarStrategy())
+        for sp, sol in zip(plan.stripe_plans, solution.solutions):
+            final = next(
+                t for t in tasks if t.task_id == f"s{sp.stripe_id}:final"
+            )
+            # One dependency per cross-rack partial plus local-fold /
+            # failed-rack inbound flows.
+            assert len(final.deps) >= sol.num_intact_racks
+
+    def test_write_is_terminal(self, setup):
+        state, event = setup
+        tasks, plan, _ = tasks_for(state, event, RandomRecoveryStrategy(rng=8))
+        dependents: dict[str, int] = {}
+        for t in tasks:
+            for d in t.deps:
+                dependents[d] = dependents.get(d, 0) + 1
+        writes = [t for t in tasks if t.tag == "disk:write"]
+        assert writes
+        for w in writes:
+            assert w.task_id not in dependents
+
+    def test_rr_graph_is_flat(self, setup):
+        """RR: read -> flow -> final -> write, nothing else."""
+        state, event = setup
+        tasks, plan, _ = tasks_for(state, event, RandomRecoveryStrategy(rng=8))
+        tags = {t.tag for t in tasks}
+        assert "compute:partial" not in tags
+        assert "compute:local" not in tags
+
+    def test_all_resources_are_cpu_or_disk(self, setup):
+        state, event = setup
+        tasks, _, _ = tasks_for(state, event, CarStrategy())
+        for t in tasks:
+            if not t.is_flow:
+                assert t.resource is not None
+                assert t.resource[0] in ("cpu", "disk")
+                state.topology.node(t.resource[1])  # valid node id

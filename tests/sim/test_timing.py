@@ -1,0 +1,94 @@
+"""Tests for the per-stripe serialized timing model."""
+
+import pytest
+
+from repro.cluster.failure import FailureInjector
+from repro.cluster.placement import RandomPlacementPolicy
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import BandwidthProfile, ClusterTopology
+from repro.erasure.rs import RSCode
+from repro.recovery.baselines import CarStrategy, RandomRecoveryStrategy
+from repro.recovery.planner import plan_recovery
+from repro.sim.timing import StripeSerialTimingModel
+
+MB = 1 << 20
+
+
+def failed_cluster(seed=0, stripes=15, k=6, m=3):
+    code = RSCode(k, m)
+    topo = ClusterTopology.from_rack_sizes(
+        [4, 3, 3, 3],
+        bandwidth=BandwidthProfile(node_nic_gbps=1.0, rack_uplink_gbps=1.0),
+    )
+    placement = RandomPlacementPolicy(rng=seed).place(topo, stripes, k, m)
+    state = ClusterState(topo, code, placement)
+    event = FailureInjector(rng=seed).fail_random_node(state)
+    return state, event
+
+
+@pytest.fixture
+def plans():
+    state, event = failed_cluster(seed=1)
+    car = CarStrategy().solve(state)
+    rr = RandomRecoveryStrategy(rng=1).solve(state)
+    return (
+        state,
+        plan_recovery(state, event, car),
+        plan_recovery(state, event, rr),
+    )
+
+
+class TestSerialModel:
+    def test_per_stripe_entries(self, plans):
+        state, car_plan, _ = plans
+        timing = StripeSerialTimingModel(state).evaluate(car_plan, 4 * MB)
+        assert len(timing.stripes) == len(car_plan.stripe_plans)
+        for s in timing.stripes:
+            assert s.transmission > 0
+            assert s.computation > 0
+            assert s.total == pytest.approx(s.transmission + s.computation)
+
+    def test_transmission_dominates(self, plans):
+        """The paper's Figure 10(a) headline: transmission >> computation."""
+        state, car_plan, rr_plan = plans
+        model = StripeSerialTimingModel(state)
+        for plan in (car_plan, rr_plan):
+            timing = model.evaluate(plan, 8 * MB)
+            assert timing.transmission_ratio > 0.5
+
+    def test_car_and_rr_computation_close(self, plans):
+        """Figure 10(b): CAR does not change the total decode work."""
+        state, car_plan, rr_plan = plans
+        model = StripeSerialTimingModel(state)
+        car = model.evaluate(car_plan, 8 * MB).computation_time
+        rr = model.evaluate(rr_plan, 8 * MB).computation_time
+        assert 0.6 <= car / rr <= 1.4
+
+    def test_rr_transmission_is_k_chunks_through_downlink(self):
+        state, event = failed_cluster(seed=2)
+        rr = RandomRecoveryStrategy(rng=2).solve(state)
+        plan = plan_recovery(state, event, rr)
+        timing = StripeSerialTimingModel(state).evaluate(plan, 4 * MB)
+        nic = 125e6
+        expected = state.code.k * 4 * MB / nic
+        for s in timing.stripes:
+            assert s.transmission >= expected - 1e-9
+
+    def test_car_transmission_below_rr(self, plans):
+        state, car_plan, rr_plan = plans
+        model = StripeSerialTimingModel(state)
+        car = model.evaluate(car_plan, 8 * MB)
+        rr = model.evaluate(rr_plan, 8 * MB)
+        assert car.transmission_time < rr.transmission_time
+
+    def test_linear_in_chunk_size(self, plans):
+        state, car_plan, _ = plans
+        model = StripeSerialTimingModel(state)
+        t1 = model.evaluate(car_plan, 4 * MB).total_time
+        t2 = model.evaluate(car_plan, 8 * MB).total_time
+        assert t2 == pytest.approx(2 * t1, rel=1e-6)
+
+    def test_ratios_sum_to_one(self, plans):
+        state, car_plan, _ = plans
+        timing = StripeSerialTimingModel(state).evaluate(car_plan, MB)
+        assert timing.computation_ratio + timing.transmission_ratio == pytest.approx(1.0)

@@ -1,0 +1,118 @@
+"""Tests for the long-horizon maintenance replay."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.configs import CFS1, CFS2, build_state
+from repro.recovery import CarStrategy, RandomRecoveryStrategy
+from repro.workloads import FailureTraceGenerator, LongRunSimulator
+
+
+def make_trace(nodes=13, seed=5, horizon=24 * 60, mtbf=1500):
+    return FailureTraceGenerator(
+        num_nodes=nodes, mtbf_hours=mtbf, seed=seed
+    ).generate(horizon)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_trace()
+
+
+@pytest.fixture(scope="module")
+def reports(trace):
+    out = {}
+    for name, factory in (
+        ("CAR", lambda h: CarStrategy()),
+        ("CAR-history", lambda h: CarStrategy(baseline_traffic=list(h))),
+        ("RR", lambda h: RandomRecoveryStrategy(rng=9)),
+    ):
+        sim = LongRunSimulator(
+            lambda: build_state(CFS2, seed=1, num_stripes=40),
+            factory,
+            chunk_size=1 << 20,
+        )
+        out[name] = sim.replay(trace)
+    return out
+
+
+class TestReplay:
+    def test_every_event_repaired(self, trace, reports):
+        # Nodes always hold chunks at 40 stripes x 9 chunks over 13 nodes.
+        assert reports["CAR"].failures == len(trace)
+
+    def test_car_ships_less_than_rr_cumulatively(self, reports):
+        assert (
+            reports["CAR"].total_cross_rack_bytes
+            < reports["RR"].total_cross_rack_bytes
+        )
+
+    def test_history_aware_same_traffic(self, reports):
+        """History changes *where* traffic goes, never how much."""
+        assert (
+            reports["CAR-history"].total_cross_rack_bytes
+            == reports["CAR"].total_cross_rack_bytes
+        )
+
+    def test_history_aware_improves_long_run_lambda(self, reports):
+        assert (
+            reports["CAR-history"].long_run_lambda()
+            < reports["CAR"].long_run_lambda()
+        )
+
+    def test_repair_hours_positive_and_car_cheaper(self, reports):
+        assert reports["CAR"].total_repair_hours > 0
+        assert (
+            reports["CAR"].total_repair_hours
+            < reports["RR"].total_repair_hours
+        )
+
+    def test_per_rack_accounting_consistent(self, reports):
+        rep = reports["CAR"]
+        assert sum(rep.per_rack_chunks) == sum(
+            o.cross_rack_chunks for o in rep.outcomes
+        )
+
+    def test_outcomes_time_ordered(self, reports):
+        times = [o.time_hours for o in reports["CAR"].outcomes]
+        assert times == sorted(times)
+
+    def test_strategy_name_recorded(self, reports):
+        assert reports["CAR-history"].strategy == "CAR-history"
+
+    def test_mean_lambda_at_least_one(self, reports):
+        for rep in reports.values():
+            assert rep.mean_lambda >= 1.0
+
+
+class TestEdgeCases:
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ConfigurationError):
+            LongRunSimulator(
+                lambda: build_state(CFS1, seed=1),
+                lambda h: CarStrategy(),
+                chunk_size=0,
+            )
+
+    def test_empty_trace_gives_empty_report(self):
+        trace = FailureTraceGenerator(10, mtbf_hours=1e9, seed=0).generate(1.0)
+        sim = LongRunSimulator(
+            lambda: build_state(CFS1, seed=1, num_stripes=10),
+            lambda h: CarStrategy(),
+        )
+        rep = sim.replay(trace)
+        assert rep.failures == 0
+        assert rep.total_cross_rack_bytes == 0
+        assert rep.mean_lambda == 1.0
+        assert rep.long_run_lambda() == 1.0
+
+    def test_failures_on_empty_nodes_skipped(self):
+        """With very few stripes some nodes hold nothing; their failures
+        must be no-ops, not errors."""
+        trace = make_trace(nodes=10, horizon=24 * 120, mtbf=500, seed=2)
+        sim = LongRunSimulator(
+            lambda: build_state(CFS1, seed=1, num_stripes=1),
+            lambda h: CarStrategy(),
+        )
+        rep = sim.replay(trace)
+        assert rep.failures <= len(trace)

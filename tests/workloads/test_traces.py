@@ -1,0 +1,77 @@
+"""Tests for failure trace generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads.traces import FailureTraceGenerator
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            FailureTraceGenerator(num_nodes=0)
+        with pytest.raises(ConfigurationError):
+            FailureTraceGenerator(num_nodes=2, mtbf_hours=0)
+        with pytest.raises(ConfigurationError):
+            FailureTraceGenerator(num_nodes=2, distribution="pareto")
+        with pytest.raises(ConfigurationError):
+            FailureTraceGenerator(num_nodes=2, weibull_shape=0)
+
+    def test_bad_horizon(self):
+        gen = FailureTraceGenerator(num_nodes=2)
+        with pytest.raises(ConfigurationError):
+            gen.generate(0)
+
+
+class TestGeneration:
+    def test_deterministic_by_seed(self):
+        a = FailureTraceGenerator(5, mtbf_hours=100, seed=3).generate(1000)
+        b = FailureTraceGenerator(5, mtbf_hours=100, seed=3).generate(1000)
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        a = FailureTraceGenerator(5, mtbf_hours=100, seed=3).generate(1000)
+        b = FailureTraceGenerator(5, mtbf_hours=100, seed=4).generate(1000)
+        assert a.events != b.events
+
+    def test_events_sorted_and_in_horizon(self):
+        trace = FailureTraceGenerator(10, mtbf_hours=50, seed=1).generate(500)
+        times = [e.time_hours for e in trace]
+        assert times == sorted(times)
+        assert all(0 < t < 500 for t in times)
+        assert all(0 <= e.node_id < 10 for e in trace)
+
+    def test_mean_interarrival_matches_rate(self):
+        """10 nodes at MTBF 100 h -> aggregate failure every ~10 h."""
+        trace = FailureTraceGenerator(10, mtbf_hours=100, seed=2).generate(
+            20_000
+        )
+        assert trace.mean_interarrival_hours() == pytest.approx(10, rel=0.25)
+
+    def test_weibull_distribution(self):
+        trace = FailureTraceGenerator(
+            10, mtbf_hours=100, distribution="weibull", weibull_shape=1.5, seed=2
+        ).generate(20_000)
+        # Mean preserved by the scale normalisation.
+        assert trace.mean_interarrival_hours() == pytest.approx(10, rel=0.25)
+
+    def test_failures_per_node_histogram(self):
+        trace = FailureTraceGenerator(4, mtbf_hours=10, seed=0).generate(1000)
+        hist = trace.failures_per_node(4)
+        assert sum(hist) == len(trace)
+        assert all(h > 0 for h in hist)
+
+    def test_empty_trace_mean(self):
+        trace = FailureTraceGenerator(1, mtbf_hours=1e9, seed=0).generate(1.0)
+        assert len(trace) == 0
+        assert trace.mean_interarrival_hours() == 1.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_trace_invariants(self, seed):
+        trace = FailureTraceGenerator(6, mtbf_hours=30, seed=seed).generate(300)
+        times = [e.time_hours for e in trace]
+        assert times == sorted(times)
+        assert trace.horizon_hours == 300
