@@ -16,7 +16,10 @@ contribution and every substrate it runs on:
 - :mod:`repro.network` — a max-min fair fluid network simulator;
 - :mod:`repro.sim` — Table III hardware profiles and recovery timing;
 - :mod:`repro.experiments` — reproductions of Figures 7-10 and the
-  Table II/III configurations.
+  Table II/III configurations;
+- :mod:`repro.faults` — deterministic fault injection and the
+  :class:`RobustExecutor` degradation ladder (aggregated →
+  re-planned → direct → typed abort).
 
 Quick start::
 
@@ -34,6 +37,17 @@ from repro.cluster import (
     RandomPlacementPolicy,
 )
 from repro.erasure import RSCode
+from repro.faults import (
+    BackoffPolicy,
+    FaultInjector,
+    FaultKind,
+    FaultLog,
+    FaultSpec,
+    PipelineStage,
+    RecoveryAbort,
+    RobustExecutor,
+    recover_with_faults,
+)
 from repro.recovery import (
     CarStrategy,
     MultiStripeSolution,
@@ -65,6 +79,15 @@ __all__ = [
     "reduction_ratio",
     "HardwareModel",
     "RecoverySimulator",
+    "BackoffPolicy",
+    "FaultInjector",
+    "FaultKind",
+    "FaultLog",
+    "FaultSpec",
+    "PipelineStage",
+    "RecoveryAbort",
+    "RobustExecutor",
+    "recover_with_faults",
     "quick_recovery_demo",
     "__version__",
 ]

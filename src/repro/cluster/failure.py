@@ -4,16 +4,50 @@ The paper's methodology: "we randomly select a node to erase its stored
 chunks ... use the same node as the replacement node, and trigger the
 recovery operation."  :class:`FailureInjector` reproduces that, plus a
 rack-failure drill used by the fault-tolerance tests.
+
+:func:`degraded_view` supports *secondary* failures during repair (the
+:mod:`repro.faults` subsystem): it re-derives a stripe's solver view
+after additional helper nodes have died, so the selector can re-plan
+with Theorem-1 minimality over the surviving racks only.
 """
 
 from __future__ import annotations
 
 import random
+from collections.abc import Iterable
 
 from repro.errors import NoFailureError
-from repro.cluster.state import ClusterState, FailureEvent
+from repro.cluster.state import ClusterState, FailureEvent, StripeView
+from repro.cluster.topology import ClusterTopology
 
-__all__ = ["FailureInjector"]
+__all__ = ["FailureInjector", "degraded_view"]
+
+
+def degraded_view(
+    view: StripeView,
+    dead_nodes: Iterable[int],
+    topology: ClusterTopology,
+) -> StripeView:
+    """A copy of ``view`` with chunks on ``dead_nodes`` removed.
+
+    The returned view's ``surviving`` map and ``rack_counts`` reflect
+    only chunks on still-alive nodes, so every Theorem-1 quantity
+    (``c_{i,j}``, ``c'_{f,j}``, ``d_j``) is computed over the surviving
+    cluster.  The primary failure (``lost_chunk`` / ``failed_rack``) is
+    unchanged.
+    """
+    dead = set(dead_nodes)
+    surviving = {c: n for c, n in view.surviving.items() if n not in dead}
+    counts = [0] * topology.num_racks
+    for nid in surviving.values():
+        counts[topology.rack_of(nid)] += 1
+    return StripeView(
+        stripe_id=view.stripe_id,
+        lost_chunk=view.lost_chunk,
+        surviving=surviving,
+        rack_counts=tuple(counts),
+        failed_rack=view.failed_rack,
+    )
 
 
 class FailureInjector:
@@ -46,6 +80,39 @@ class FailureInjector:
     def fail_node(self, state: ClusterState, node_id: int) -> FailureEvent:
         """Fail a specific node."""
         return state.fail_node(node_id)
+
+    def helper_candidates(
+        self, state: ClusterState, event: FailureEvent
+    ) -> list[int]:
+        """Nodes that hold at least one chunk of an affected stripe.
+
+        These are the nodes whose mid-repair crash (a *secondary*
+        failure) actually perturbs the recovery — the candidate pool the
+        fault-injection drills draw from.  The replacement node is
+        excluded (its loss is not survivable in the single-replacement
+        model).
+        """
+        involved: set[int] = set()
+        for stripe in event.stripes:
+            layout = state.placement.stripe_layout(stripe)
+            involved.update(
+                nid for nid in layout.values()
+                if nid not in (state.failed_node, event.replacement_node)
+            )
+        return sorted(involved)
+
+    def pick_secondary(
+        self, state: ClusterState, event: FailureEvent
+    ) -> int:
+        """A random helper node to crash mid-repair.
+
+        Raises:
+            NoFailureError: if no helper node is involved in the repair.
+        """
+        candidates = self.helper_candidates(state, event)
+        if not candidates:
+            raise NoFailureError("no helper nodes involved in this recovery")
+        return self.rng.choice(candidates)
 
     def simulate_rack_loss(self, state: ClusterState, rack_id: int) -> bool:
         """Check (without mutating) that every stripe survives losing a rack.

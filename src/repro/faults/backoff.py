@@ -1,0 +1,68 @@
+"""Capped exponential backoff for retried transfers.
+
+Delays are fully deterministic (no jitter): retry timing must be
+byte-identical across runs for the fault log and the simulated
+:class:`~repro.sim.recovery_sim.RecoveryTiming` to be reproducible,
+which the fault-injection tests assert.  Attempt ``i`` (1-based) waits
+``min(cap_seconds, base_seconds * multiplier**(i - 1))``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BackoffPolicy"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Retry budget and delay schedule for transient faults.
+
+    Attributes:
+        base_seconds: delay before the first retry.
+        multiplier: growth factor per attempt.
+        cap_seconds: upper bound on any single delay.
+        max_attempts: transient faults tolerated at one checkpoint
+            before the fault is escalated to a permanent crash (a disk
+            that never stops stalling, a link that never stops
+            dropping, is dead for recovery purposes).
+    """
+
+    base_seconds: float = 0.1
+    multiplier: float = 2.0
+    cap_seconds: float = 5.0
+    max_attempts: int = 4
+
+    def __post_init__(self) -> None:
+        if self.base_seconds <= 0 or self.cap_seconds <= 0:
+            raise ConfigurationError("backoff delays must be positive")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("backoff multiplier must be >= 1")
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based), capped.
+
+        Raises:
+            ConfigurationError: if ``attempt`` < 1.
+        """
+        if attempt < 1:
+            raise ConfigurationError("attempt numbers are 1-based")
+        return min(
+            self.cap_seconds,
+            self.base_seconds * self.multiplier ** (attempt - 1),
+        )
+
+    def delays(self) -> Iterator[float]:
+        """The full delay schedule, one entry per allowed attempt."""
+        for attempt in range(1, self.max_attempts + 1):
+            yield self.delay(attempt)
+
+    @property
+    def total_budget_seconds(self) -> float:
+        """Worst-case total wait at one checkpoint."""
+        return sum(self.delays())

@@ -1,0 +1,151 @@
+"""Deterministic, seedable fault injection at pipeline checkpoints.
+
+The :class:`FaultInjector` holds a set of armed :class:`FaultSpec`\\ s.
+Every time the executor reaches a pipeline stage it *polls* the
+injector with the full checkpoint context (stage, stripe, acting node,
+rack, retry attempt, payload kind); the injector answers with the
+first armed spec that matches — consuming one of its fires — or
+``None``.  All randomness (probabilistic specs) comes from one seeded
+``random.Random``, so a given seed replays the exact same fault
+sequence on the exact same recovery, which the determinism tests
+assert.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.faults.events import (
+    FaultEvent,
+    FaultKind,
+    FaultSpec,
+)
+from repro.recovery.executor import PipelineStage
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Matches armed fault specs against executor checkpoints.
+
+    Args:
+        specs: faults to arm immediately (more via :meth:`arm`).
+        seed: seed for the probabilistic-spec RNG.
+    """
+
+    def __init__(
+        self, specs: Iterable[FaultSpec] = (), seed: int = 0
+    ) -> None:
+        self._specs: list[FaultSpec] = []
+        self._remaining: list[int | None] = []
+        self._seed = seed
+        self.rng = random.Random(seed)
+        self.history: list[FaultEvent] = []
+        for spec in specs:
+            self.arm(spec)
+
+    def arm(self, spec: FaultSpec) -> None:
+        """Add one spec to the armed set."""
+        self._specs.append(spec)
+        self._remaining.append(spec.max_fires)
+
+    def reset(self) -> None:
+        """Restore every spec's fire budget, the RNG, and the history.
+
+        After ``reset`` the injector replays identically — used to run
+        the same fault scenario twice when checking determinism.
+        """
+        self._remaining = [s.max_fires for s in self._specs]
+        self.rng = random.Random(self._seed)
+        self.history = []
+
+    @property
+    def armed(self) -> tuple[FaultSpec, ...]:
+        """Specs that can still fire."""
+        return tuple(
+            s
+            for s, left in zip(self._specs, self._remaining)
+            if left is None or left > 0
+        )
+
+    def poll(
+        self,
+        stage: PipelineStage,
+        *,
+        stripe_id: int,
+        node: int,
+        rack: int,
+        attempt: int = 0,
+        is_partial: bool = False,
+    ) -> FaultEvent | None:
+        """Ask whether a fault fires at this checkpoint.
+
+        Args:
+            stage: the pipeline stage being entered.
+            stripe_id / node / rack: the acting context.
+            attempt: 0 on first entry, incremented on each retry of the
+                same checkpoint (so limited specs drain against retries).
+            is_partial: True when the payload is a partially decoded
+                chunk (distinguishes delegate flows from helper flows).
+
+        Returns:
+            The fired :class:`FaultEvent`, also appended to
+            :attr:`history`, or ``None``.
+        """
+        for i, spec in enumerate(self._specs):
+            left = self._remaining[i]
+            if left is not None and left <= 0:
+                continue
+            if spec.stage is not stage:
+                continue
+            if not self._payload_matches(spec.kind, stage, is_partial):
+                continue
+            if spec.node is not None and spec.node != node:
+                continue
+            if spec.rack is not None and spec.rack != rack:
+                continue
+            if spec.stripe_id is not None and spec.stripe_id != stripe_id:
+                continue
+            if spec.probability < 1.0 and self.rng.random() >= spec.probability:
+                continue
+            if left is not None:
+                self._remaining[i] = left - 1
+            event = FaultEvent(
+                kind=spec.kind,
+                stage=stage,
+                stripe_id=stripe_id,
+                node=node,
+                rack=rack,
+                attempt=attempt,
+                stall_seconds=(
+                    spec.stall_seconds
+                    if spec.kind is FaultKind.DISK_STALL
+                    else 0.0
+                ),
+            )
+            self.history.append(event)
+            return event
+        return None
+
+    @staticmethod
+    def _payload_matches(
+        kind: FaultKind, stage: PipelineStage, is_partial: bool
+    ) -> bool:
+        """Disambiguate who a transfer-stage fault hits.
+
+        On transfer stages, a helper crash targets raw-chunk flows (the
+        src is a chunk holder) while a delegate crash targets
+        partial-payload flows (the src is a delegate).  Flow drops and
+        non-transfer stages are payload-agnostic.
+        """
+        if stage not in (
+            PipelineStage.INTRA_TRANSFER,
+            PipelineStage.CROSS_TRANSFER,
+        ):
+            return True
+        if kind is FaultKind.HELPER_CRASH:
+            return not is_partial
+        if kind is FaultKind.DELEGATE_CRASH:
+            return is_partial
+        return True

@@ -1,0 +1,446 @@
+"""Degraded-mode recovery: retries, re-planning, and graceful fallback.
+
+:class:`RobustExecutor` wraps the byte-exact
+:class:`~repro.recovery.executor.PlanExecutor` with the failure
+handling a real clustered file system needs when the repair itself is
+not safe from failures:
+
+- **transient faults** (dropped flows) are retried with capped
+  exponential backoff; **stalled disks** are waited out — both
+  accounted as simulated wall-clock, never real sleeps;
+- **permanent faults** (helper/delegate crashes, or transients that
+  exhaust their retry budget) void the current plan for the not-yet
+  repaired stripes: the selector and planner are re-invoked with the
+  dead nodes excluded, so the re-plan is Theorem-1 minimal over the
+  *surviving* racks;
+- after ``max_replans`` aggregated re-plans the executor **degrades**
+  to direct RR-style recovery (any ``k`` survivors shipped raw), the
+  last rung before a typed :class:`~repro.faults.events.RecoveryAbort`.
+
+The degradation ladder is therefore::
+
+    aggregated (CAR)  ->  re-planned aggregated  ->  direct  ->  abort
+
+Every fault and every response is recorded in a
+:class:`~repro.faults.events.FaultLog`, in execution order, and the
+whole run is deterministic for a fixed injector seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.failure import degraded_view
+from repro.cluster.state import ClusterState, FailureEvent
+from repro.errors import NoValidSolutionError
+from repro.faults.backoff import BackoffPolicy
+from repro.faults.events import (
+    ActionKind,
+    FaultKind,
+    FaultLog,
+    InjectedCrashError,
+    RecoveryAbort,
+    RecoveryAction,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.timeline import FaultTimeline
+from repro.recovery.balancer import GreedyLoadBalancer
+from repro.recovery.executor import ExecutionResult, PipelineStage, PlanExecutor
+from repro.recovery.planner import RecoveryPlan, plan_recovery
+from repro.recovery.selector import CarSelector
+from repro.recovery.solution import MultiStripeSolution, PerStripeSolution
+
+__all__ = ["RobustExecutionResult", "RobustExecutor", "recover_with_faults"]
+
+
+@dataclass
+class RobustExecutionResult:
+    """Outcome of a fault-tolerant recovery run.
+
+    Attributes:
+        result: merged byte-exact execution result of every stripe that
+            completed (each stripe's bytes come from its *successful*
+            attempt only).
+        log: ordered faults + responses.
+        dead_nodes: helpers that crashed (or were escalated) mid-repair.
+        replans: aggregated re-plans performed.
+        degraded_to_direct: whether the ladder reached direct recovery.
+        rounds: execution rounds (1 = no crash interrupted anything).
+        wasted_cross_rack_bytes / wasted_intra_rack_bytes: traffic of
+            attempts that a crash voided (consumed bandwidth that bought
+            no stripe).
+        backoff_seconds: simulated wait spent on transfer retries.
+        stall_seconds: simulated wait spent on disk stalls.
+        final_solution / final_plan: what the last round executed —
+            feed these to the timing simulator together with
+            :attr:`timeline`.
+    """
+
+    result: ExecutionResult
+    log: FaultLog
+    dead_nodes: frozenset[int]
+    replans: int
+    degraded_to_direct: bool
+    rounds: int
+    wasted_cross_rack_bytes: int
+    wasted_intra_rack_bytes: int
+    backoff_seconds: float
+    stall_seconds: float
+    final_solution: MultiStripeSolution
+    final_plan: RecoveryPlan
+
+    @property
+    def verified(self) -> bool:
+        """True iff every stripe reconstructed byte-exactly."""
+        return self.result.verified
+
+    @property
+    def timeline(self) -> FaultTimeline:
+        """The log's timing view, for :class:`RecoverySimulator`."""
+        return FaultTimeline.from_log(self.log)
+
+
+class RobustExecutor(PlanExecutor):
+    """A :class:`PlanExecutor` that survives faults injected mid-repair.
+
+    Args:
+        state: the failed cluster (must hold a DataStore).
+        injector: armed fault injector (default: no faults — the run
+            then behaves exactly like the plain executor).
+        backoff: retry schedule for transient faults.
+        max_replans: aggregated re-plans before degrading to direct.
+        rebalance: run Algorithm 2 on aggregated re-plans so the
+            degraded solution keeps λ low over the surviving racks.
+    """
+
+    def __init__(
+        self,
+        state: ClusterState,
+        injector: FaultInjector | None = None,
+        backoff: BackoffPolicy | None = None,
+        max_replans: int = 2,
+        rebalance: bool = True,
+    ) -> None:
+        super().__init__(state)
+        self.injector = injector or FaultInjector()
+        self.backoff = backoff or BackoffPolicy()
+        self.max_replans = max_replans
+        self.rebalance = rebalance
+        self._log: FaultLog | None = None
+        self._backoff_total = 0.0
+        self._stall_total = 0.0
+
+    # -- fault-aware pipeline hook --------------------------------------
+
+    def _checkpoint(
+        self,
+        stage: PipelineStage,
+        *,
+        stripe_id: int,
+        node: int,
+        rack: int,
+        chunk: int | None = None,
+        is_partial: bool = False,
+    ) -> None:
+        if self._log is None:  # not inside run(): behave like the base
+            return
+        attempt = 0
+        while True:
+            event = self.injector.poll(
+                stage,
+                stripe_id=stripe_id,
+                node=node,
+                rack=rack,
+                attempt=attempt,
+                is_partial=is_partial,
+            )
+            if event is None:
+                return
+            self._log.record(event)
+            if event.kind in (FaultKind.HELPER_CRASH, FaultKind.DELEGATE_CRASH):
+                raise InjectedCrashError(event)
+            attempt += 1
+            if attempt >= self.backoff.max_attempts:
+                # A disk that never stops stalling / a link that never
+                # stops dropping is dead for recovery purposes.
+                self._log.record(
+                    RecoveryAction(
+                        action=ActionKind.ESCALATE,
+                        stripe_id=stripe_id,
+                        node=node,
+                        detail=(
+                            f"{event.kind.value} exceeded "
+                            f"{self.backoff.max_attempts} attempts"
+                        ),
+                    )
+                )
+                raise InjectedCrashError(event)
+            if event.kind is FaultKind.DISK_STALL:
+                self._stall_total += event.stall_seconds
+                self._log.record(
+                    RecoveryAction(
+                        action=ActionKind.WAIT,
+                        stripe_id=stripe_id,
+                        node=node,
+                        wait_seconds=event.stall_seconds,
+                        detail="disk stall waited out",
+                    )
+                )
+            else:  # FLOW_DROP
+                delay = self.backoff.delay(attempt)
+                self._backoff_total += delay
+                self._log.record(
+                    RecoveryAction(
+                        action=ActionKind.RETRY,
+                        stripe_id=stripe_id,
+                        node=node,
+                        wait_seconds=delay,
+                        detail=f"retransmit #{attempt} after drop",
+                    )
+                )
+
+    # -- the robust loop -------------------------------------------------
+
+    def run(
+        self,
+        event: FailureEvent,
+        solution: MultiStripeSolution,
+        plan: RecoveryPlan | None = None,
+    ) -> RobustExecutionResult:
+        """Execute ``solution`` to completion, surviving injected faults.
+
+        Raises:
+            RecoveryAbort: if recovery is impossible (fewer than ``k``
+                survivors for some stripe, the replacement node lost, or
+                the round budget exhausted).  The abort carries the full
+                :class:`FaultLog` — never a partial/wrong answer.
+        """
+        log = FaultLog()
+        self._log = log
+        self._backoff_total = 0.0
+        self._stall_total = 0.0
+        try:
+            return self._run(event, solution, plan, log)
+        finally:
+            self._log = None
+
+    def _run(
+        self,
+        event: FailureEvent,
+        solution: MultiStripeSolution,
+        plan: RecoveryPlan | None,
+        log: FaultLog,
+    ) -> RobustExecutionResult:
+        merged = ExecutionResult()
+        dead: set[int] = set()
+        mode_direct = not solution.aggregated
+        degraded = False
+        replans = 0
+        rounds = 0
+        wasted_cross = 0
+        wasted_intra = 0
+        current_sol = solution
+        current_plan = (
+            plan
+            if plan is not None
+            else plan_recovery(self.state, event, solution)
+        )
+        pending = {s.stripe_id for s in current_sol.solutions}
+        # Each round either finishes or kills at least one more node, so
+        # this bound is never hit by a live scenario — it is a guard
+        # against a mis-specified injector.
+        max_rounds = self.max_replans + self.state.topology.num_nodes + 2
+
+        while pending:
+            rounds += 1
+            if rounds > max_rounds:
+                log.record(
+                    RecoveryAction(
+                        action=ActionKind.ABORT,
+                        detail="round budget exhausted",
+                    )
+                )
+                raise RecoveryAbort("round budget exhausted", log, dead)
+            crash: InjectedCrashError | None = None
+            for sol in current_sol.solutions:
+                if sol.stripe_id not in pending:
+                    continue
+                sp = current_plan.stripe_plan_for(sol.stripe_id)
+                scratch = ExecutionResult()
+                try:
+                    self.execute_stripe(current_plan, sp, sol, scratch)
+                except InjectedCrashError as exc:
+                    wasted_cross += scratch.cross_rack_bytes
+                    wasted_intra += scratch.intra_rack_bytes
+                    crash = exc
+                    break
+                merged.merge(scratch)
+                pending.discard(sol.stripe_id)
+            if crash is None:
+                break
+            if crash.node == event.replacement_node:
+                log.record(
+                    RecoveryAction(
+                        action=ActionKind.ABORT,
+                        stripe_id=crash.event.stripe_id,
+                        node=crash.node,
+                        detail="replacement node lost",
+                    )
+                )
+                raise RecoveryAbort("replacement node lost", log, dead)
+            dead.add(crash.node)
+            try:
+                if not mode_direct and replans < self.max_replans:
+                    replans += 1
+                    log.record(
+                        RecoveryAction(
+                            action=ActionKind.REPLAN,
+                            stripe_id=crash.event.stripe_id,
+                            node=crash.node,
+                            detail=(
+                                f"aggregated re-plan #{replans} excluding "
+                                f"nodes {sorted(dead)}"
+                            ),
+                        )
+                    )
+                    current_sol = self._replan_aggregated(pending, dead)
+                else:
+                    if not mode_direct:
+                        mode_direct = True
+                        degraded = True
+                        log.record(
+                            RecoveryAction(
+                                action=ActionKind.DEGRADE,
+                                node=crash.node,
+                                detail=(
+                                    "aggregation abandoned after "
+                                    f"{replans} re-plans; direct recovery"
+                                ),
+                            )
+                        )
+                    else:
+                        log.record(
+                            RecoveryAction(
+                                action=ActionKind.REPLAN,
+                                stripe_id=crash.event.stripe_id,
+                                node=crash.node,
+                                detail=(
+                                    f"direct re-plan excluding nodes "
+                                    f"{sorted(dead)}"
+                                ),
+                            )
+                        )
+                    current_sol = self._replan_direct(pending, dead)
+                current_plan = plan_recovery(
+                    self.state, event, current_sol, dead_nodes=frozenset(dead)
+                )
+            except NoValidSolutionError as exc:
+                log.record(
+                    RecoveryAction(action=ActionKind.ABORT, detail=str(exc))
+                )
+                raise RecoveryAbort(f"data loss: {exc}", log, dead) from exc
+
+        return RobustExecutionResult(
+            result=merged,
+            log=log,
+            dead_nodes=frozenset(dead),
+            replans=replans,
+            degraded_to_direct=degraded,
+            rounds=rounds,
+            wasted_cross_rack_bytes=wasted_cross,
+            wasted_intra_rack_bytes=wasted_intra,
+            backoff_seconds=self._backoff_total,
+            stall_seconds=self._stall_total,
+            final_solution=current_sol,
+            final_plan=current_plan,
+        )
+
+    # -- re-planning ------------------------------------------------------
+
+    def _replan_aggregated(
+        self, pending: set[int], dead: set[int]
+    ) -> MultiStripeSolution:
+        """CAR re-plan of the pending stripes over the surviving racks."""
+        selector = CarSelector(self.state.topology, self.state.code.k)
+        views = {}
+        solutions = []
+        for stripe in sorted(pending):
+            raw = self.state.stripe_view(stripe)
+            views[stripe] = degraded_view(raw, dead, self.state.topology)
+            solutions.append(selector.degraded_solution(raw, dead))
+        replanned = MultiStripeSolution(
+            solutions,
+            num_racks=self.state.topology.num_racks,
+            aggregated=True,
+        )
+        if self.rebalance and len(solutions) > 1:
+            replanned, _ = GreedyLoadBalancer().balance(
+                views, replanned, selector
+            )
+        return replanned
+
+    def _replan_direct(
+        self, pending: set[int], dead: set[int]
+    ) -> MultiStripeSolution:
+        """RR-style fallback: the first ``k`` survivors, shipped raw."""
+        k = self.state.code.k
+        solutions = []
+        for stripe in sorted(pending):
+            view = degraded_view(
+                self.state.stripe_view(stripe), dead, self.state.topology
+            )
+            survivors = sorted(view.surviving)
+            if len(survivors) < k:
+                raise NoValidSolutionError(
+                    f"stripe {stripe}: only {len(survivors)} survivors "
+                    f"remain, need {k}"
+                )
+            chunks_by_rack: dict[int, list[int]] = {}
+            for c in survivors[:k]:
+                rack = self.state.topology.rack_of(view.surviving[c])
+                chunks_by_rack.setdefault(rack, []).append(c)
+            solutions.append(
+                PerStripeSolution(
+                    stripe_id=stripe,
+                    lost_chunk=view.lost_chunk,
+                    failed_rack=view.failed_rack,
+                    chunks_by_rack={
+                        r: tuple(sorted(cs))
+                        for r, cs in chunks_by_rack.items()
+                    },
+                )
+            )
+        return MultiStripeSolution(
+            solutions,
+            num_racks=self.state.topology.num_racks,
+            aggregated=False,
+        )
+
+
+def recover_with_faults(
+    state: ClusterState,
+    event: FailureEvent,
+    strategy,
+    injector: FaultInjector | None = None,
+    backoff: BackoffPolicy | None = None,
+    max_replans: int = 2,
+    rebalance: bool = True,
+) -> RobustExecutionResult:
+    """Solve, plan, and robustly execute a recovery in one call.
+
+    Args:
+        strategy: any :class:`~repro.recovery.baselines.RecoveryStrategy`.
+
+    Raises:
+        RecoveryAbort: as :meth:`RobustExecutor.run`.
+    """
+    solution = strategy.solve(state)
+    plan = plan_recovery(state, event, solution)
+    executor = RobustExecutor(
+        state,
+        injector=injector,
+        backoff=backoff,
+        max_replans=max_replans,
+        rebalance=rebalance,
+    )
+    return executor.run(event, solution, plan)

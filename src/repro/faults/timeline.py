@@ -1,0 +1,75 @@
+"""Timing view of a fault log, consumed by the recovery simulator.
+
+The :class:`~repro.faults.events.FaultLog` records *what* happened;
+:class:`FaultTimeline` condenses it into the two perturbations the
+fluid simulator can replay on a plan's task DAG:
+
+- per ``(stripe, node)`` **disk stall** seconds, serialised on that
+  node's disk resource ahead of the stripe's reads;
+- per ``(stripe, src node)`` **flow retransmissions**, each an extra
+  full-size flow over the same path that the real flow must wait for —
+  so retry time lands in the makespan (``RecoveryTiming.total_time``)
+  and in the busiest-link byte counts.
+
+Crash/re-plan rounds are not replayed here: the caller simulates the
+*final* plan of a robust run; the timeline carries the transient
+faults that final plan still experienced.  Entries that reference a
+node absent from the simulated plan are simply never matched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.events import FaultKind, FaultLog
+
+__all__ = ["FaultTimeline"]
+
+
+@dataclass(frozen=True)
+class FaultTimeline:
+    """Aggregated timing perturbations extracted from a fault log.
+
+    Attributes:
+        disk_stalls: ``(stripe_id, node) -> total stall seconds``.
+        flow_retries: ``(stripe_id, src node) -> dropped-attempt count``.
+    """
+
+    disk_stalls: dict[tuple[int, int], float] = field(default_factory=dict)
+    flow_retries: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    @classmethod
+    def from_log(cls, log: FaultLog) -> "FaultTimeline":
+        """Condense a fault log into its timing perturbations."""
+        stalls: dict[tuple[int, int], float] = {}
+        retries: dict[tuple[int, int], int] = {}
+        for ev in log.faults:
+            key = (ev.stripe_id, ev.node)
+            if ev.kind is FaultKind.DISK_STALL:
+                stalls[key] = stalls.get(key, 0.0) + ev.stall_seconds
+            elif ev.kind is FaultKind.FLOW_DROP:
+                retries[key] = retries.get(key, 0) + 1
+        return cls(disk_stalls=stalls, flow_retries=retries)
+
+    @property
+    def empty(self) -> bool:
+        """True iff the timeline perturbs nothing."""
+        return not self.disk_stalls and not self.flow_retries
+
+    def stall_for(self, stripe_id: int, node: int) -> float:
+        """Stall seconds for one stripe's reads on one node (0 if none)."""
+        return self.disk_stalls.get((stripe_id, node), 0.0)
+
+    def retries_for(self, stripe_id: int, node: int) -> int:
+        """Retransmissions for flows this node sources in this stripe."""
+        return self.flow_retries.get((stripe_id, node), 0)
+
+    @property
+    def total_retries(self) -> int:
+        """All retransmitted flows across the recovery."""
+        return sum(self.flow_retries.values())
+
+    @property
+    def total_stall_seconds(self) -> float:
+        """All injected disk-stall seconds."""
+        return sum(self.disk_stalls.values())

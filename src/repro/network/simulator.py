@@ -103,6 +103,21 @@ class SimResult:
         except KeyError:
             raise SimulationError(f"task {task_id!r} did not finish") from None
 
+    def tagged_time(self, prefix: str) -> float:
+        """Summed busy time of every tag starting with ``prefix``.
+
+        The reporting convention is hierarchical tags (``compute:partial``,
+        ``disk:read``, ``fault:stall``, ``xfer:retry``); this rolls a
+        whole family up, e.g. ``tagged_time("fault:")`` is the injected
+        stall time and ``tagged_time("xfer:retry")`` the retransmission
+        time a fault scenario added.
+        """
+        return sum(
+            v
+            for tag, v in self.busy_time_by_tag.items()
+            if tag.startswith(prefix)
+        )
+
 
 class FluidNetworkSimulator:
     """Runs a DAG of flow/serial tasks over a :class:`FabricModel`."""

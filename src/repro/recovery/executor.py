@@ -9,10 +9,18 @@ every reconstructed chunk byte-for-byte against the
 
 It also returns the per-node compute and per-scope transfer byte
 counters that the timing model (:mod:`repro.sim`) consumes.
+
+Execution is organised stripe-by-stripe around named *pipeline stages*
+(:class:`PipelineStage`).  Before each stage the executor calls the
+:meth:`PlanExecutor._checkpoint` hook with the acting node's identity —
+a no-op here, but the fault-injection layer (:mod:`repro.faults`)
+overrides it to crash helpers, stall disks, or drop flows at exactly
+that point in the pipeline.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,10 +32,31 @@ from repro.erasure.repair import (
     split_repair_vector,
 )
 from repro.errors import PlanError
-from repro.recovery.planner import RecoveryPlan
-from repro.recovery.solution import MultiStripeSolution
+from repro.recovery.planner import RecoveryPlan, StripePlan
+from repro.recovery.solution import MultiStripeSolution, PerStripeSolution
 
-__all__ = ["ExecutionResult", "PlanExecutor"]
+__all__ = ["PipelineStage", "ExecutionResult", "PlanExecutor"]
+
+
+class PipelineStage(str, enum.Enum):
+    """Named points of the per-stripe recovery pipeline.
+
+    These are the stages a fault can be injected at.  Order within one
+    stripe: every helper chunk is read (``DISK_READ``), raw chunks move
+    to their delegate or the replacement node (``INTRA_TRANSFER`` /
+    ``CROSS_TRANSFER``), each rack delegate partially decodes
+    (``PARTIAL_DECODE``) and ships the partial across the core
+    (``CROSS_TRANSFER`` with a partial payload), the replacement node
+    folds the failed rack's survivors (``LOCAL_FOLD``) and combines
+    everything (``FINAL_COMBINE``).
+    """
+
+    DISK_READ = "disk_read"
+    INTRA_TRANSFER = "intra_transfer"
+    CROSS_TRANSFER = "cross_transfer"
+    PARTIAL_DECODE = "partial_decode"
+    LOCAL_FOLD = "local_fold"
+    FINAL_COMBINE = "final_combine"
 
 
 @dataclass
@@ -58,6 +87,17 @@ class ExecutionResult:
         """Total GF input bytes across all nodes."""
         return sum(self.bytes_computed_by_node.values())
 
+    def merge(self, other: "ExecutionResult") -> None:
+        """Fold another result (e.g. one stripe's) into this one."""
+        self.reconstructed.update(other.reconstructed)
+        self.per_stripe_ok.update(other.per_stripe_ok)
+        for node, nbytes in other.bytes_computed_by_node.items():
+            self.bytes_computed_by_node[node] = (
+                self.bytes_computed_by_node.get(node, 0) + nbytes
+            )
+        self.cross_rack_bytes += other.cross_rack_bytes
+        self.intra_rack_bytes += other.intra_rack_bytes
+
 
 class PlanExecutor:
     """Runs a :class:`RecoveryPlan` against a cluster's stored bytes."""
@@ -78,24 +118,85 @@ class PlanExecutor:
                 helper grouping for the repair-vector split).
         """
         result = ExecutionResult()
+        for sol in solution.solutions:
+            sp = plan.stripe_plan_for(sol.stripe_id)
+            self.execute_stripe(plan, sp, sol, result)
+        return result
+
+    def execute_stripe(
+        self,
+        plan: RecoveryPlan,
+        sp: StripePlan,
+        sol: PerStripeSolution,
+        result: ExecutionResult,
+    ) -> None:
+        """Execute one stripe of the plan into ``result``.
+
+        Pipeline-stage checkpoints fire in execution order; a checkpoint
+        that raises aborts the stripe with ``result`` holding only the
+        traffic consumed so far (the robust executor uses this to
+        account wasted bytes of failed attempts).
+        """
         chunk_bytes = self.state.data.chunk_size
-        for t in plan.all_transfers():
+        # Disk reads: every helper chunk leaves a disk exactly once.
+        for c in sol.helpers:
+            node = self.state.placement.node_of(sol.stripe_id, c)
+            self._checkpoint(
+                PipelineStage.DISK_READ,
+                stripe_id=sol.stripe_id,
+                node=node,
+                rack=self.state.topology.rack_of(node),
+                chunk=c,
+            )
+        # Raw chunk transfers (partial-payload flows are checkpointed and
+        # counted with their decode, below, to keep pipeline order).
+        for t in sp.transfers:
+            if t.is_partial:
+                continue
+            stage = (
+                PipelineStage.CROSS_TRANSFER
+                if t.cross_rack
+                else PipelineStage.INTRA_TRANSFER
+            )
+            self._checkpoint(
+                stage,
+                stripe_id=sol.stripe_id,
+                node=t.src_node,
+                rack=t.src_rack,
+                chunk=t.chunk_index,
+            )
             if t.cross_rack:
                 result.cross_rack_bytes += chunk_bytes
             else:
                 result.intra_rack_bytes += chunk_bytes
-        for sol in solution.solutions:
-            if plan.aggregated:
-                rebuilt = self._execute_stripe_aggregated(sol, plan, result)
-            else:
-                rebuilt = self._execute_stripe_direct(sol, plan, result)
-            result.reconstructed[sol.stripe_id] = rebuilt
-            result.per_stripe_ok[sol.stripe_id] = self.state.data.matches(
-                sol.stripe_id, sol.lost_chunk, rebuilt
-            )
-        return result
+        if plan.aggregated:
+            rebuilt = self._execute_stripe_aggregated(sol, plan, sp, result)
+        else:
+            rebuilt = self._execute_stripe_direct(sol, plan, result)
+        self._checkpoint(
+            PipelineStage.FINAL_COMBINE,
+            stripe_id=sol.stripe_id,
+            node=plan.replacement_node,
+            rack=self.state.topology.rack_of(plan.replacement_node),
+        )
+        result.reconstructed[sol.stripe_id] = rebuilt
+        result.per_stripe_ok[sol.stripe_id] = self.state.data.matches(
+            sol.stripe_id, sol.lost_chunk, rebuilt
+        )
 
     # -- internals ------------------------------------------------------
+
+    def _checkpoint(
+        self,
+        stage: PipelineStage,
+        *,
+        stripe_id: int,
+        node: int,
+        rack: int,
+        chunk: int | None = None,
+        is_partial: bool = False,
+    ) -> None:
+        """Stage hook; overridden by the fault-injection executor."""
 
     def _charge(self, result: ExecutionResult, node: int, nbytes: int) -> None:
         result.bytes_computed_by_node[node] = (
@@ -107,25 +208,56 @@ class PlanExecutor:
             c: self.state.data.chunk(stripe_id, c) for c in indices
         }
 
-    def _execute_stripe_aggregated(self, sol, plan: RecoveryPlan, result):
+    def _execute_stripe_aggregated(
+        self, sol, plan: RecoveryPlan, sp: StripePlan, result
+    ):
         code = self.state.code
         chunk_bytes = self.state.data.chunk_size
         decode_plan = split_repair_vector(
             code, sol.lost_chunk, sol.helpers, sol.rack_map()
         )
         chunks = self._chunks(sol.stripe_id, sol.helpers)
-        partials = execute_partial_decode(code, decode_plan, chunks)
+        partial_transfers = [t for t in sp.transfers if t.is_partial]
         # Charge each rack's partial decode to its delegate (or to the
         # replacement node for the failed rack's local fold).
-        stripe_plan = next(
-            sp for sp in plan.stripe_plans if sp.stripe_id == sol.stripe_id
+        groups = sorted(
+            decode_plan.groups,
+            key=lambda g: (g.group_key != sol.failed_rack, g.group_key),
         )
-        for group in decode_plan.groups:
+        for group in groups:
             if group.group_key == sol.failed_rack:
                 node = plan.replacement_node
+                self._checkpoint(
+                    PipelineStage.LOCAL_FOLD,
+                    stripe_id=sol.stripe_id,
+                    node=node,
+                    rack=self.state.topology.rack_of(node),
+                )
             else:
-                node = stripe_plan.delegates[group.group_key]
+                node = sp.delegates[group.group_key]
+                self._checkpoint(
+                    PipelineStage.PARTIAL_DECODE,
+                    stripe_id=sol.stripe_id,
+                    node=node,
+                    rack=group.group_key,
+                    is_partial=True,
+                )
+                xfer = _partial_transfer_from(partial_transfers, node)
+                self._checkpoint(
+                    PipelineStage.CROSS_TRANSFER
+                    if xfer.cross_rack
+                    else PipelineStage.INTRA_TRANSFER,
+                    stripe_id=sol.stripe_id,
+                    node=node,
+                    rack=group.group_key,
+                    is_partial=True,
+                )
+                if xfer.cross_rack:
+                    result.cross_rack_bytes += chunk_bytes
+                else:
+                    result.intra_rack_bytes += chunk_bytes
             self._charge(result, node, group.size * chunk_bytes)
+        partials = execute_partial_decode(code, decode_plan, chunks)
         # Final XOR of the per-rack partials at the replacement node.
         self._charge(
             result, plan.replacement_node, len(partials) * chunk_bytes
@@ -140,3 +272,10 @@ class PlanExecutor:
             result, plan.replacement_node, len(chunks) * chunk_bytes
         )
         return code.reconstruct(sol.lost_chunk, chunks)
+
+
+def _partial_transfer_from(transfers, delegate: int):
+    for t in transfers:
+        if t.src_node == delegate:
+            return t
+    raise PlanError(f"no partial transfer leaves delegate {delegate}")

@@ -120,6 +120,17 @@ class RecoveryPlan:
         for sp in self.stripe_plans:
             yield from sp.transfers
 
+    def stripe_plan_for(self, stripe_id: int) -> StripePlan:
+        """The per-stripe plan for ``stripe_id``.
+
+        Raises:
+            PlanError: if the stripe is not part of this plan.
+        """
+        for sp in self.stripe_plans:
+            if sp.stripe_id == stripe_id:
+                return sp
+        raise PlanError(f"no stripe plan for stripe {stripe_id}")
+
     def all_compute(self) -> Iterator[ComputeTask]:
         """Every compute task in the plan."""
         for sp in self.stripe_plans:
@@ -146,19 +157,26 @@ def plan_recovery(
     state: ClusterState,
     event: FailureEvent,
     solution: MultiStripeSolution,
+    dead_nodes: frozenset[int] | set[int] = frozenset(),
 ) -> RecoveryPlan:
     """Build the executable plan for ``solution`` on ``state``.
 
+    Args:
+        dead_nodes: helper nodes that crashed mid-recovery (secondary
+            failures).  The solution must not read from them; planning a
+            transfer sourced at a dead node raises :class:`PlanError`.
+
     Raises:
         PlanError: if the solution references chunks the placement does
-            not hold where expected.
+            not hold where expected, or reads from a dead node.
     """
+    dead = frozenset(dead_nodes)
     plans = []
     for sol in solution.solutions:
         if solution.aggregated:
-            plans.append(_plan_stripe_aggregated(state, event, sol))
+            plans.append(_plan_stripe_aggregated(state, event, sol, dead))
         else:
-            plans.append(_plan_stripe_direct(state, event, sol))
+            plans.append(_plan_stripe_direct(state, event, sol, dead))
     return RecoveryPlan(
         stripe_plans=tuple(plans),
         replacement_node=event.replacement_node,
@@ -166,17 +184,29 @@ def plan_recovery(
     )
 
 
-def _holder(state: ClusterState, sol: PerStripeSolution, chunk: int) -> int:
+def _holder(
+    state: ClusterState,
+    sol: PerStripeSolution,
+    chunk: int,
+    dead_nodes: frozenset[int] = frozenset(),
+) -> int:
     node = state.placement.node_of(sol.stripe_id, chunk)
     if node == state.failed_node:
         raise PlanError(
             f"stripe {sol.stripe_id}: chunk {chunk} lives on the failed node"
         )
+    if node in dead_nodes:
+        raise PlanError(
+            f"stripe {sol.stripe_id}: chunk {chunk} lives on dead node {node}"
+        )
     return node
 
 
 def _plan_stripe_aggregated(
-    state: ClusterState, event: FailureEvent, sol: PerStripeSolution
+    state: ClusterState,
+    event: FailureEvent,
+    sol: PerStripeSolution,
+    dead_nodes: frozenset[int] = frozenset(),
 ) -> StripePlan:
     repl = event.replacement_node
     repl_rack = state.topology.rack_of(repl)
@@ -187,7 +217,7 @@ def _plan_stripe_aggregated(
 
     for rack in sorted(sol.chunks_by_rack):
         chunks = sol.chunks_from_rack(rack)
-        holders = {c: _holder(state, sol, c) for c in chunks}
+        holders = {c: _holder(state, sol, c, dead_nodes) for c in chunks}
         if rack == sol.failed_rack:
             # Survivors in A_f ship intra-rack to the replacement node,
             # which folds them locally (one more "partial" input).
@@ -268,14 +298,17 @@ def _plan_stripe_aggregated(
 
 
 def _plan_stripe_direct(
-    state: ClusterState, event: FailureEvent, sol: PerStripeSolution
+    state: ClusterState,
+    event: FailureEvent,
+    sol: PerStripeSolution,
+    dead_nodes: frozenset[int] = frozenset(),
 ) -> StripePlan:
     repl = event.replacement_node
     repl_rack = state.topology.rack_of(repl)
     transfers: list[Transfer] = []
     for rack in sorted(sol.chunks_by_rack):
         for c in sol.chunks_from_rack(rack):
-            node = _holder(state, sol, c)
+            node = _holder(state, sol, c, dead_nodes)
             transfers.append(
                 Transfer(
                     stripe_id=sol.stripe_id,

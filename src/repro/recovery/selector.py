@@ -20,7 +20,7 @@ Given a :class:`~repro.cluster.state.StripeView`, this module answers:
 from __future__ import annotations
 
 import itertools
-from collections.abc import Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.errors import NoValidSolutionError, RecoveryError
 from repro.cluster.state import StripeView
@@ -191,6 +191,27 @@ class CarSelector:
             )
         chosen = tuple(sorted(rack for rack, _ in intact[:d]))
         return build_solution(view, chosen, self.k, self.topology)
+
+    def degraded_solution(
+        self,
+        view: StripeView,
+        dead_nodes: Iterable[int],
+        traffic_hint: Sequence[int] | None = None,
+    ) -> PerStripeSolution:
+        """Re-plan one stripe after secondary failures.
+
+        Removes chunks stored on ``dead_nodes`` from the view and runs
+        the normal Algorithm-2 initial pick on what is left, so the
+        returned solution is Theorem-1 minimal over the *surviving*
+        racks.  Raises :class:`NoValidSolutionError` if fewer than ``k``
+        chunks survive (data loss).
+        """
+        from repro.cluster.failure import degraded_view
+
+        return self.initial_solution(
+            degraded_view(view, dead_nodes, self.topology),
+            traffic_hint=traffic_hint,
+        )
 
     def valid_rack_sets(self, view: StripeView) -> list[tuple[int, ...]]:
         """All valid ``d_j``-sized intact-rack sets."""

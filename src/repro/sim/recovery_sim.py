@@ -16,11 +16,19 @@ The result is summarised as a :class:`RecoveryTiming` with the three
 quantities the evaluation uses: total recovery time (Figure 9),
 decoding computation time, and the network-bottleneck transmission time
 (Figure 10).
+
+A :class:`~repro.faults.timeline.FaultTimeline` (from a fault-injected
+robust run) can be threaded through: injected disk stalls become serial
+tasks on the stalled disk that the stripe's reads queue behind, and
+dropped flows become retransmitted full-size flows the real flow waits
+for — so fault recovery time lands in ``total_time`` and is broken out
+as ``fault_time``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.cluster.state import ClusterState
 from repro.errors import PlanError
@@ -29,6 +37,9 @@ from repro.network.links import FabricModel
 from repro.network.simulator import FluidNetworkSimulator, SimResult
 from repro.recovery.planner import RecoveryPlan, StripePlan
 from repro.sim.hardware import HardwareModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.faults.timeline import FaultTimeline
 
 __all__ = ["RecoveryTiming", "RecoverySimulator", "build_tasks"]
 
@@ -50,6 +61,9 @@ class RecoveryTiming:
         disk_time: summed disk read/write seconds (not part of the
             paper's breakdown; reported for completeness).
         num_chunks: lost chunks recovered.
+        fault_time: busy time attributable to injected faults — disk
+            stalls plus retransmitted flows (zero without a timeline).
+        num_retries: retransmitted flows the timeline injected.
     """
 
     total_time: float
@@ -57,6 +71,8 @@ class RecoveryTiming:
     transmission_time: float
     disk_time: float
     num_chunks: int
+    fault_time: float = 0.0
+    num_retries: int = 0
 
     @property
     def time_per_chunk(self) -> float:
@@ -82,12 +98,21 @@ def build_tasks(
     hardware: HardwareModel,
     chunk_size: int,
     include_disk: bool = True,
+    timeline: "FaultTimeline | None" = None,
 ) -> list[SimTask]:
-    """Expand a recovery plan into the simulator's task DAG."""
+    """Expand a recovery plan into the simulator's task DAG.
+
+    Args:
+        timeline: optional fault perturbations (disk stalls, flow
+            retransmissions) to weave into the DAG.
+    """
     tasks: list[SimTask] = []
     for sp in plan.stripe_plans:
         tasks.extend(
-            _stripe_tasks(state, plan, sp, fabric, hardware, chunk_size, include_disk)
+            _stripe_tasks(
+                state, plan, sp, fabric, hardware, chunk_size, include_disk,
+                timeline,
+            )
         )
     return tasks
 
@@ -100,16 +125,39 @@ def _stripe_tasks(
     hardware: HardwareModel,
     chunk_size: int,
     include_disk: bool,
+    timeline: "FaultTimeline | None" = None,
 ) -> list[SimTask]:
     s = sp.stripe_id
     repl = plan.replacement_node
     tasks: list[SimTask] = []
     read_ids: dict[int, str] = {}  # chunk index -> disk-read task id
+    stall_ids: dict[int, str] = {}  # node -> injected-stall task id
+
+    def stall_dep(node: int) -> list[str]:
+        """Injected disk stall this stripe's work on ``node`` queues behind."""
+        if timeline is None:
+            return []
+        seconds = timeline.stall_for(s, node)
+        if seconds <= 0:
+            return []
+        if node not in stall_ids:
+            tid = f"s{s}:fault:stall:n{node}"
+            stall_ids[node] = tid
+            tasks.append(
+                serial_task(
+                    tid,
+                    resource=("disk", node),
+                    duration=seconds,
+                    tag="fault:stall",
+                )
+            )
+        return [stall_ids[node]]
 
     def read_task(chunk: int, node: int) -> list[str]:
         """Disk read preceding any use of a raw chunk (deduplicated)."""
         if not include_disk:
-            return []
+            # Without modelled disks a stall still delays the node's flows.
+            return stall_dep(node)
         if chunk not in read_ids:
             tid = f"s{s}:read:c{chunk}"
             read_ids[chunk] = tid
@@ -118,10 +166,33 @@ def _stripe_tasks(
                     tid,
                     resource=("disk", node),
                     duration=hardware.profile(node).disk_read_seconds(chunk_size),
+                    deps=stall_dep(node),
                     tag="disk:read",
                 )
             )
         return [read_ids[chunk]]
+
+    def make_flow(
+        tid: str, src_node: int, path, deps: list[str], tag: str
+    ) -> None:
+        """A flow, preceded by its injected retransmissions (if any)."""
+        retries = timeline.retries_for(s, src_node) if timeline else 0
+        prev = list(deps)
+        for i in range(1, retries + 1):
+            rid = f"{tid}:retry{i}"
+            tasks.append(
+                flow_task(
+                    rid,
+                    path=path,
+                    size_bytes=chunk_size,
+                    deps=prev,
+                    tag="xfer:retry",
+                )
+            )
+            prev = [rid]
+        tasks.append(
+            flow_task(tid, path=path, size_bytes=chunk_size, deps=prev, tag=tag)
+        )
 
     # Raw chunk flows (intra-rack to delegates / replacement, or the
     # direct RR flows).  Partial flows are added with their decode below.
@@ -135,14 +206,8 @@ def _stripe_tasks(
         deps = read_task(t.chunk_index, t.src_node)
         tid = f"s{s}:xfer:c{t.chunk_index}"
         tag = "xfer:cross" if t.cross_rack else "xfer:intra"
-        tasks.append(
-            flow_task(
-                tid,
-                path=fabric.path(t.src_node, t.dst_node),
-                size_bytes=chunk_size,
-                deps=deps,
-                tag=tag,
-            )
+        make_flow(
+            tid, t.src_node, fabric.path(t.src_node, t.dst_node), deps, tag
         )
         raw_flow_ids[t.chunk_index] = tid
         if t.dst_node == repl:
@@ -184,14 +249,12 @@ def _stripe_tasks(
             )
             xfer = _find_partial_transfer(partial_transfers, ct.node)
             ftid = f"s{s}:xfer:partial:r{rack}"
-            tasks.append(
-                flow_task(
-                    ftid,
-                    path=fabric.path(xfer.src_node, xfer.dst_node),
-                    size_bytes=chunk_size,
-                    deps=[ctid],
-                    tag="xfer:cross" if xfer.cross_rack else "xfer:intra",
-                )
+            make_flow(
+                ftid,
+                xfer.src_node,
+                fabric.path(xfer.src_node, xfer.dst_node),
+                [ctid],
+                "xfer:cross" if xfer.cross_rack else "xfer:intra",
             )
             final_deps.append(ftid)
         elif ct.kind == "local":
@@ -265,27 +328,32 @@ class RecoverySimulator:
         self.hardware = hardware or HardwareModel(state.topology)
         self.include_disk = include_disk
 
-    def simulate(self, plan: RecoveryPlan, chunk_size: int) -> RecoveryTiming:
-        """Run the fluid simulation and summarise its timing."""
+    def simulate(
+        self,
+        plan: RecoveryPlan,
+        chunk_size: int,
+        timeline: "FaultTimeline | None" = None,
+    ) -> RecoveryTiming:
+        """Run the fluid simulation and summarise its timing.
+
+        Args:
+            timeline: optional fault perturbations from a robust run
+                (see :attr:`repro.faults.robust.RobustExecutionResult.timeline`);
+                injected stalls and retransmissions then count toward
+                ``total_time`` and are broken out as ``fault_time``.
+        """
         tasks = build_tasks(
             self.state, plan, self.fabric, self.hardware, chunk_size,
-            include_disk=self.include_disk,
+            include_disk=self.include_disk, timeline=timeline,
         )
+        num_retries = sum(1 for t in tasks if t.tag == "xfer:retry")
         sim = FluidNetworkSimulator(self.fabric)
         result = sim.run(tasks)
-        return self._summarise(result, plan)
+        return self._summarise(result, plan, num_retries)
 
-    def _summarise(self, result: SimResult, plan: RecoveryPlan) -> RecoveryTiming:
-        compute = sum(
-            v
-            for tag, v in result.busy_time_by_tag.items()
-            if tag.startswith("compute:")
-        )
-        disk = sum(
-            v
-            for tag, v in result.busy_time_by_tag.items()
-            if tag.startswith("disk:")
-        )
+    def _summarise(
+        self, result: SimResult, plan: RecoveryPlan, num_retries: int = 0
+    ) -> RecoveryTiming:
         transmission = 0.0
         for link_id, nbytes in result.link_bytes.items():
             transmission = max(
@@ -293,8 +361,12 @@ class RecoverySimulator:
             )
         return RecoveryTiming(
             total_time=result.makespan,
-            computation_time=compute,
+            computation_time=result.tagged_time("compute:"),
             transmission_time=transmission,
-            disk_time=disk,
+            disk_time=result.tagged_time("disk:"),
             num_chunks=len(plan.stripe_plans),
+            fault_time=(
+                result.tagged_time("fault:") + result.tagged_time("xfer:retry")
+            ),
+            num_retries=num_retries,
         )

@@ -1,0 +1,71 @@
+"""Tests for the capped exponential backoff schedule."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.faults import BackoffPolicy
+
+
+class TestSchedule:
+    def test_default_schedule(self):
+        p = BackoffPolicy()
+        assert list(p.delays()) == [0.1, 0.2, 0.4, 0.8]
+
+    def test_cap_applies(self):
+        p = BackoffPolicy(base_seconds=1.0, multiplier=10.0, cap_seconds=5.0,
+                          max_attempts=4)
+        assert list(p.delays()) == [1.0, 5.0, 5.0, 5.0]
+
+    def test_first_attempt_is_base(self):
+        assert BackoffPolicy(base_seconds=0.25).delay(1) == 0.25
+
+    def test_total_budget(self):
+        p = BackoffPolicy(base_seconds=1.0, multiplier=2.0, cap_seconds=100.0,
+                          max_attempts=3)
+        assert p.total_budget_seconds == 1.0 + 2.0 + 4.0
+
+    def test_deterministic_no_jitter(self):
+        p = BackoffPolicy()
+        assert [p.delay(i) for i in range(1, 5)] == [
+            p.delay(i) for i in range(1, 5)
+        ]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_seconds": 0.0},
+            {"base_seconds": -1.0},
+            {"cap_seconds": 0.0},
+            {"multiplier": 0.5},
+            {"max_attempts": 0},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(**kwargs)
+
+    def test_attempt_numbers_are_one_based(self):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy().delay(0)
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        base=st.floats(0.01, 10.0),
+        mult=st.floats(1.0, 4.0),
+        cap=st.floats(0.01, 100.0),
+        attempts=st.integers(1, 10),
+    )
+    def test_delays_monotone_and_capped(self, base, mult, cap, attempts):
+        p = BackoffPolicy(base_seconds=base, multiplier=mult,
+                          cap_seconds=cap, max_attempts=attempts)
+        delays = list(p.delays())
+        assert len(delays) == attempts
+        assert all(d <= cap + 1e-12 for d in delays)
+        assert all(b >= a - 1e-12 for a, b in zip(delays, delays[1:]))
+        assert p.total_budget_seconds == pytest.approx(sum(delays))

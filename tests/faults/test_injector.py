@@ -1,0 +1,194 @@
+"""Tests for the deterministic, seedable fault injector."""
+
+import itertools
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultSpec,
+    PipelineStage,
+)
+from repro.faults.events import VALID_STAGES
+
+
+def poll(inj, stage, stripe_id=0, node=0, rack=0, **kw):
+    return inj.poll(stage, stripe_id=stripe_id, node=node, rack=rack, **kw)
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "kind,stage",
+        [
+            (kind, stage)
+            for kind, stage in itertools.product(FaultKind, PipelineStage)
+            if stage not in VALID_STAGES[kind]
+        ],
+    )
+    def test_invalid_kind_stage_combo_rejected(self, kind, stage):
+        with pytest.raises(RecoveryError):
+            FaultSpec(kind=kind, stage=stage)
+
+    @pytest.mark.parametrize(
+        "kind,stage",
+        [
+            (kind, stage)
+            for kind in FaultKind
+            for stage in sorted(VALID_STAGES[kind])
+        ],
+    )
+    def test_valid_kind_stage_combo_accepted(self, kind, stage):
+        FaultSpec(kind=kind, stage=stage)
+
+    def test_bad_probability(self):
+        with pytest.raises(RecoveryError):
+            FaultSpec(kind=FaultKind.DISK_STALL,
+                      stage=PipelineStage.DISK_READ, probability=0.0)
+        with pytest.raises(RecoveryError):
+            FaultSpec(kind=FaultKind.DISK_STALL,
+                      stage=PipelineStage.DISK_READ, probability=1.5)
+
+    def test_bad_max_fires_and_stall(self):
+        with pytest.raises(RecoveryError):
+            FaultSpec(kind=FaultKind.DISK_STALL,
+                      stage=PipelineStage.DISK_READ, max_fires=0)
+        with pytest.raises(RecoveryError):
+            FaultSpec(kind=FaultKind.DISK_STALL,
+                      stage=PipelineStage.DISK_READ, stall_seconds=0.0)
+
+
+class TestMatching:
+    def test_stage_must_match(self):
+        inj = FaultInjector([
+            FaultSpec(kind=FaultKind.DISK_STALL,
+                      stage=PipelineStage.DISK_READ)
+        ])
+        assert poll(inj, PipelineStage.INTRA_TRANSFER) is None
+        assert poll(inj, PipelineStage.DISK_READ) is not None
+
+    def test_node_rack_stripe_filters(self):
+        inj = FaultInjector([
+            FaultSpec(kind=FaultKind.HELPER_CRASH,
+                      stage=PipelineStage.DISK_READ,
+                      node=3, rack=1, stripe_id=7, max_fires=None)
+        ])
+        assert poll(inj, PipelineStage.DISK_READ, node=2, rack=1,
+                    stripe_id=7) is None
+        assert poll(inj, PipelineStage.DISK_READ, node=3, rack=0,
+                    stripe_id=7) is None
+        assert poll(inj, PipelineStage.DISK_READ, node=3, rack=1,
+                    stripe_id=8) is None
+        event = poll(inj, PipelineStage.DISK_READ, node=3, rack=1,
+                     stripe_id=7)
+        assert event is not None
+        assert (event.node, event.rack, event.stripe_id) == (3, 1, 7)
+
+    def test_max_fires_budget_drains(self):
+        inj = FaultInjector([
+            FaultSpec(kind=FaultKind.FLOW_DROP,
+                      stage=PipelineStage.CROSS_TRANSFER, max_fires=2)
+        ])
+        assert poll(inj, PipelineStage.CROSS_TRANSFER) is not None
+        assert poll(inj, PipelineStage.CROSS_TRANSFER) is not None
+        assert poll(inj, PipelineStage.CROSS_TRANSFER) is None
+        assert inj.armed == ()
+
+    def test_unlimited_budget(self):
+        inj = FaultInjector([
+            FaultSpec(kind=FaultKind.FLOW_DROP,
+                      stage=PipelineStage.CROSS_TRANSFER, max_fires=None)
+        ])
+        for _ in range(10):
+            assert poll(inj, PipelineStage.CROSS_TRANSFER) is not None
+        assert len(inj.armed) == 1
+
+    def test_first_matching_spec_wins(self):
+        stall = FaultSpec(kind=FaultKind.DISK_STALL,
+                          stage=PipelineStage.DISK_READ, stall_seconds=9.0)
+        crash = FaultSpec(kind=FaultKind.HELPER_CRASH,
+                          stage=PipelineStage.DISK_READ)
+        inj = FaultInjector([stall, crash])
+        event = poll(inj, PipelineStage.DISK_READ)
+        assert event.kind is FaultKind.DISK_STALL
+        assert event.stall_seconds == 9.0
+
+    def test_history_records_fires_in_order(self):
+        inj = FaultInjector([
+            FaultSpec(kind=FaultKind.DISK_STALL,
+                      stage=PipelineStage.DISK_READ, max_fires=3)
+        ])
+        for stripe in range(3):
+            poll(inj, PipelineStage.DISK_READ, stripe_id=stripe)
+        assert [e.stripe_id for e in inj.history] == [0, 1, 2]
+
+
+class TestPayloadDisambiguation:
+    """On shared transfer stages, who a crash hits depends on the payload."""
+
+    def test_helper_crash_only_hits_raw_flows(self):
+        inj = FaultInjector([
+            FaultSpec(kind=FaultKind.HELPER_CRASH,
+                      stage=PipelineStage.CROSS_TRANSFER, max_fires=None)
+        ])
+        assert poll(inj, PipelineStage.CROSS_TRANSFER,
+                    is_partial=True) is None
+        assert poll(inj, PipelineStage.CROSS_TRANSFER,
+                    is_partial=False) is not None
+
+    def test_delegate_crash_only_hits_partial_flows(self):
+        inj = FaultInjector([
+            FaultSpec(kind=FaultKind.DELEGATE_CRASH,
+                      stage=PipelineStage.CROSS_TRANSFER, max_fires=None)
+        ])
+        assert poll(inj, PipelineStage.CROSS_TRANSFER,
+                    is_partial=False) is None
+        assert poll(inj, PipelineStage.CROSS_TRANSFER,
+                    is_partial=True) is not None
+
+    def test_flow_drop_is_payload_agnostic(self):
+        inj = FaultInjector([
+            FaultSpec(kind=FaultKind.FLOW_DROP,
+                      stage=PipelineStage.CROSS_TRANSFER, max_fires=None)
+        ])
+        assert poll(inj, PipelineStage.CROSS_TRANSFER,
+                    is_partial=True) is not None
+        assert poll(inj, PipelineStage.CROSS_TRANSFER,
+                    is_partial=False) is not None
+
+
+class TestDeterminism:
+    def probabilistic_pattern(self, inj, polls=50):
+        inj.reset()
+        return [
+            poll(inj, PipelineStage.DISK_READ, stripe_id=i) is not None
+            for i in range(polls)
+        ]
+
+    def test_same_seed_same_fire_pattern(self):
+        spec = FaultSpec(kind=FaultKind.DISK_STALL,
+                         stage=PipelineStage.DISK_READ,
+                         probability=0.3, max_fires=None)
+        a = FaultInjector([spec], seed=13)
+        b = FaultInjector([spec], seed=13)
+        assert self.probabilistic_pattern(a) == self.probabilistic_pattern(b)
+
+    def test_different_seed_usually_differs(self):
+        spec = FaultSpec(kind=FaultKind.DISK_STALL,
+                         stage=PipelineStage.DISK_READ,
+                         probability=0.5, max_fires=None)
+        a = FaultInjector([spec], seed=1)
+        b = FaultInjector([spec], seed=2)
+        assert self.probabilistic_pattern(a) != self.probabilistic_pattern(b)
+
+    def test_reset_replays_identically(self):
+        spec = FaultSpec(kind=FaultKind.DISK_STALL,
+                         stage=PipelineStage.DISK_READ,
+                         probability=0.4, max_fires=10)
+        inj = FaultInjector([spec], seed=99)
+        first = self.probabilistic_pattern(inj)
+        history = list(inj.history)
+        second = self.probabilistic_pattern(inj)
+        assert first == second
+        assert history == inj.history

@@ -1,0 +1,134 @@
+"""Tests for threading fault timing into the recovery simulator."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterState,
+    ClusterTopology,
+    DataStore,
+    FailureInjector,
+    RandomPlacementPolicy,
+)
+from repro.erasure import RSCode
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultLog,
+    FaultSpec,
+    FaultTimeline,
+    PipelineStage,
+    recover_with_faults,
+)
+from repro.recovery import CarStrategy
+from repro.sim import RecoverySimulator
+
+CHUNK = 256
+
+
+def build(seed=42, stripes=12):
+    code = RSCode(6, 3)
+    topo = ClusterTopology.from_rack_sizes([4, 3, 3, 3])
+    placement = RandomPlacementPolicy(rng=seed).place(
+        topo, stripes, code.k, code.m
+    )
+    data = DataStore(code, stripes, chunk_size=CHUNK, seed=seed)
+    state = ClusterState(topo, code, placement, data)
+    event = FailureInjector(rng=seed).fail_random_node(state)
+    return state, event
+
+
+def fault(kind, stripe, node, stall=0.0):
+    return FaultEvent(
+        kind=kind,
+        stage=(PipelineStage.DISK_READ if kind is FaultKind.DISK_STALL
+               else PipelineStage.CROSS_TRANSFER),
+        stripe_id=stripe,
+        node=node,
+        rack=0,
+        stall_seconds=stall,
+    )
+
+
+class TestFromLog:
+    def test_empty_log_empty_timeline(self):
+        tl = FaultTimeline.from_log(FaultLog())
+        assert tl.empty
+        assert tl.total_retries == 0
+        assert tl.total_stall_seconds == 0.0
+
+    def test_stalls_aggregate_per_stripe_node(self):
+        log = FaultLog()
+        log.record(fault(FaultKind.DISK_STALL, 1, 5, stall=2.0))
+        log.record(fault(FaultKind.DISK_STALL, 1, 5, stall=3.0))
+        log.record(fault(FaultKind.DISK_STALL, 2, 5, stall=1.0))
+        tl = FaultTimeline.from_log(log)
+        assert tl.stall_for(1, 5) == pytest.approx(5.0)
+        assert tl.stall_for(2, 5) == pytest.approx(1.0)
+        assert tl.stall_for(1, 6) == 0.0
+        assert tl.total_stall_seconds == pytest.approx(6.0)
+
+    def test_drops_count_per_stripe_source(self):
+        log = FaultLog()
+        log.record(fault(FaultKind.FLOW_DROP, 0, 3))
+        log.record(fault(FaultKind.FLOW_DROP, 0, 3))
+        log.record(fault(FaultKind.FLOW_DROP, 4, 7))
+        tl = FaultTimeline.from_log(log)
+        assert tl.retries_for(0, 3) == 2
+        assert tl.retries_for(4, 7) == 1
+        assert tl.retries_for(0, 7) == 0
+        assert tl.total_retries == 3
+
+    def test_crashes_do_not_perturb_timing(self):
+        log = FaultLog()
+        log.record(fault(FaultKind.HELPER_CRASH, 0, 3))
+        assert FaultTimeline.from_log(log).empty
+
+
+class TestSimulatorIntegration:
+    def run_faulty(self):
+        state, event = build()
+        injector = FaultInjector([
+            FaultSpec(kind=FaultKind.DISK_STALL,
+                      stage=PipelineStage.DISK_READ,
+                      stall_seconds=2.5, max_fires=2),
+            FaultSpec(kind=FaultKind.FLOW_DROP,
+                      stage=PipelineStage.CROSS_TRANSFER,
+                      max_fires=3),
+        ], seed=7)
+        r = recover_with_faults(state, event, CarStrategy(),
+                                injector=injector)
+        return state, r
+
+    def test_stalls_and_retries_land_in_total_time(self):
+        state, r = self.run_faulty()
+        assert r.verified
+        tl = r.timeline
+        assert tl.total_stall_seconds == pytest.approx(5.0)
+        assert tl.total_retries == 3
+        sim = RecoverySimulator(state)
+        base = sim.simulate(r.final_plan, CHUNK)
+        faulty = sim.simulate(r.final_plan, CHUNK, timeline=tl)
+        assert base.fault_time == 0.0
+        assert base.num_retries == 0
+        assert faulty.num_retries == 3
+        assert faulty.fault_time >= tl.total_stall_seconds
+        # A stalled read serialises the whole stripe chain behind it.
+        assert faulty.total_time >= base.total_time + 2.5
+        assert faulty.fault_time <= faulty.total_time
+
+    def test_retries_add_link_traffic(self):
+        state, r = self.run_faulty()
+        sim = RecoverySimulator(state)
+        base = sim.simulate(r.final_plan, CHUNK)
+        faulty = sim.simulate(r.final_plan, CHUNK, timeline=r.timeline)
+        # Retransmissions move real bytes: transmission lower bound grows.
+        assert faulty.transmission_time >= base.transmission_time
+
+    def test_empty_timeline_is_identity(self):
+        state, r = self.run_faulty()
+        sim = RecoverySimulator(state)
+        base = sim.simulate(r.final_plan, CHUNK)
+        same = sim.simulate(r.final_plan, CHUNK, timeline=FaultTimeline())
+        assert same.total_time == pytest.approx(base.total_time)
+        assert same.fault_time == 0.0

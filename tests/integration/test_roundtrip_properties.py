@@ -1,0 +1,114 @@
+"""Property-based byte-exact round trips through recovery.
+
+Random clusters are encoded, failed, recovered, and verified against
+ground truth — through RS/CAR and through LRC local recovery — and the
+paper's Equation 7 traffic identity must hold exactly: an aggregated
+recovery ships one partially decoded chunk per accessed intact rack,
+so ``cross_rack_bytes == (sum of d_j over stripes) * chunk_size``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ClusterState,
+    ClusterTopology,
+    DataStore,
+    FailureInjector,
+    GroupAlignedPlacementPolicy,
+    RandomPlacementPolicy,
+)
+from repro.erasure import LRCCode, RSCode
+from repro.recovery import (
+    CarStrategy,
+    LrcLocalRecoveryStrategy,
+    PlanExecutor,
+    lrc_groups_for_placement,
+    plan_recovery,
+)
+
+CHUNK = 128
+
+
+@st.composite
+def rs_clusters(draw):
+    seed = draw(st.integers(0, 10_000))
+    num_racks = draw(st.integers(3, 5))
+    racks = [draw(st.integers(3, 4)) for _ in range(num_racks)]
+    k, m = draw(st.sampled_from([(4, 2), (6, 3)]))
+    stripes = draw(st.integers(1, 6))
+    code = RSCode(k, m)
+    topo = ClusterTopology.from_rack_sizes(racks)
+    placement = RandomPlacementPolicy(rng=seed).place(topo, stripes, k, m)
+    data = DataStore(code, stripes, chunk_size=CHUNK, seed=seed)
+    state = ClusterState(topo, code, placement, data)
+    event = FailureInjector(rng=seed).fail_random_node(state)
+    return state, event
+
+
+@st.composite
+def lrc_clusters(draw):
+    seed = draw(st.integers(0, 10_000))
+    stripes = draw(st.integers(1, 5))
+    code = LRCCode(k=4, l=2, g=2)
+    topo = ClusterTopology.from_rack_sizes([4, 4, 3, 3])
+    groups = lrc_groups_for_placement(code)
+    placement = GroupAlignedPlacementPolicy(groups, rng=seed).place(
+        topo, stripes, code.k, code.m
+    )
+    data = DataStore(code, stripes, chunk_size=CHUNK, seed=seed)
+    state = ClusterState(topo, code, placement, data)
+    event = FailureInjector(rng=seed).fail_random_node(state)
+    return state, event
+
+
+def recover(state, event, strategy):
+    solution = strategy.solve(state)
+    plan = plan_recovery(state, event, solution)
+    result = PlanExecutor(state).execute(plan, solution)
+    return solution, result
+
+
+class TestRsRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(rs_clusters())
+    def test_car_recovery_is_byte_exact(self, case):
+        state, event = case
+        _, result = recover(state, event, CarStrategy())
+        assert result.verified
+        assert set(result.reconstructed) == set(state.affected_stripes())
+
+    @settings(max_examples=200, deadline=None)
+    @given(rs_clusters())
+    def test_equation7_traffic_identity(self, case):
+        """One partial chunk crosses the core per accessed intact rack."""
+        state, event = case
+        solution, result = recover(state, event, CarStrategy())
+        assert solution.aggregated
+        accessed_racks = sum(
+            sol.num_intact_racks for sol in solution.solutions
+        )
+        assert result.cross_rack_bytes == accessed_racks * CHUNK
+
+
+class TestLrcRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(lrc_clusters())
+    def test_local_recovery_is_byte_exact(self, case):
+        state, event = case
+        _, result = recover(state, event, LrcLocalRecoveryStrategy())
+        assert result.verified
+        assert set(result.reconstructed) == set(state.affected_stripes())
+
+    @settings(max_examples=100, deadline=None)
+    @given(lrc_clusters())
+    def test_equation7_traffic_identity(self, case):
+        """Group-aligned local repair stays rack-local, so Equation 7
+        degenerates to zero cross-rack bytes — and must still hold."""
+        state, event = case
+        solution, result = recover(state, event, LrcLocalRecoveryStrategy())
+        assert solution.aggregated
+        accessed_racks = sum(
+            sol.num_intact_racks for sol in solution.solutions
+        )
+        assert result.cross_rack_bytes == accessed_racks * CHUNK

@@ -1,0 +1,117 @@
+"""Property-based checks of Theorem 1 against exhaustive search.
+
+The sorted-prefix rule computes ``d_j`` in O(r log r); these tests
+compare it with brute force over *all* rack subsets on hundreds of
+random stripe layouts, and check every materialised solution supplies
+exactly ``k`` chunks.
+"""
+
+import itertools
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.state import StripeView
+from repro.cluster.topology import ClusterTopology
+from repro.recovery.selector import (
+    CarSelector,
+    build_solution,
+    iter_valid_rack_sets,
+    min_racks_needed,
+)
+
+
+def make_view(rack_counts, failed_rack=0):
+    """A synthetic view with ``rack_counts[i]`` survivors in rack ``i``."""
+    topo = ClusterTopology.from_rack_sizes([max(1, c) for c in rack_counts])
+    surviving = {}
+    chunk = 0
+    for rack, count in enumerate(rack_counts):
+        nodes = topo.nodes_in_rack(rack)
+        for i in range(count):
+            surviving[chunk] = nodes[i]
+            chunk += 1
+    view = StripeView(
+        stripe_id=0,
+        lost_chunk=sum(rack_counts),
+        surviving=surviving,
+        rack_counts=tuple(rack_counts),
+        failed_rack=failed_rack,
+    )
+    return view, topo
+
+
+def brute_force_min_racks(view: StripeView, k: int) -> int:
+    """Smallest intact-rack subset that, with the local survivors,
+    reaches ``k`` chunks — by trying every subset size in order."""
+    local = view.rack_counts[view.failed_rack]
+    intact = [
+        c
+        for rack, c in enumerate(view.rack_counts)
+        if rack != view.failed_rack
+    ]
+    for d in range(len(intact) + 1):
+        for combo in itertools.combinations(intact, d):
+            if local + sum(combo) >= k:
+                return d
+    raise AssertionError("caller must ensure feasibility")
+
+
+@st.composite
+def feasible_views(draw):
+    num_racks = draw(st.integers(2, 6))
+    counts = [draw(st.integers(0, 6)) for _ in range(num_racks)]
+    failed_rack = draw(st.integers(0, num_racks - 1))
+    k = draw(st.integers(1, 12))
+    assume(sum(counts) >= k)
+    view, topo = make_view(counts, failed_rack=failed_rack)
+    return view, topo, k
+
+
+class TestTheorem1Properties:
+    @settings(max_examples=200, deadline=None)
+    @given(feasible_views())
+    def test_d_j_matches_brute_force(self, case):
+        view, _, k = case
+        assert min_racks_needed(view, k) == brute_force_min_racks(view, k)
+
+    @settings(max_examples=200, deadline=None)
+    @given(feasible_views())
+    def test_every_valid_rack_set_supplies_k_chunks(self, case):
+        view, topo, k = case
+        d = min_racks_needed(view, k)
+        rack_sets = list(iter_valid_rack_sets(view, k))
+        assert rack_sets, "at least one valid rack set must exist"
+        local = view.rack_counts[view.failed_rack]
+        for rack_set in rack_sets:
+            assert len(rack_set) == d
+            available = local + sum(view.rack_counts[r] for r in rack_set)
+            assert available >= k
+            sol = build_solution(view, rack_set, k, topo)
+            assert sol.helper_count == k
+            assert sol.num_intact_racks == d
+            # Helpers must be real survivors on real nodes.
+            for chunk in sol.helpers:
+                assert chunk in view.surviving
+
+    @settings(max_examples=200, deadline=None)
+    @given(feasible_views())
+    def test_initial_solution_is_minimal_and_complete(self, case):
+        view, topo, k = case
+        selector = CarSelector(topo, k)
+        sol = selector.initial_solution(view)
+        assert sol.helper_count == k
+        assert sol.num_intact_racks == brute_force_min_racks(view, k)
+        assert set(sol.helpers) <= set(view.surviving)
+        # No solution over any rack subset can touch fewer intact racks.
+        for d in range(sol.num_intact_racks):
+            local = view.rack_counts[view.failed_rack]
+            intact = [
+                c
+                for rack, c in enumerate(view.rack_counts)
+                if rack != view.failed_rack
+            ]
+            assert all(
+                local + sum(combo) < k
+                for combo in itertools.combinations(intact, d)
+            )
