@@ -78,6 +78,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=False,
         help="append ASCII charts of the series to the tables",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the experiment runs (default: serial; "
+            "results are identical for any worker count)"
+        ),
+    )
     return parser
 
 
@@ -87,6 +96,8 @@ def _kwargs(args: argparse.Namespace, default_runs: int) -> dict:
         kwargs["num_stripes"] = args.stripes
     if args.seed is not None:
         kwargs["base_seed"] = args.seed
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
     return kwargs
 
 
@@ -171,7 +182,9 @@ def _run_degraded(args: argparse.Namespace) -> str:
     stripes = args.stripes if args.stripes is not None else 50
     rows = []
     for cfg in ALL_CFS:
-        res = run_degraded_read(cfg, runs=runs, num_stripes=stripes)
+        res = run_degraded_read(
+            cfg, runs=runs, num_stripes=stripes, workers=args.workers
+        )
         for name in ("CAR", "RR"):
             d = res.distributions[name]
             rows.append(
@@ -237,13 +250,21 @@ def _run_ablation(args: argparse.Namespace) -> str:
     runs = args.runs if args.runs is not None else 10
     parts = [
         render_traffic_ablation(
-            [run_traffic_ablation(cfg, runs=runs) for cfg in ALL_CFS]
+            [
+                run_traffic_ablation(cfg, runs=runs, workers=args.workers)
+                for cfg in ALL_CFS
+            ]
         ),
         render_oversubscription(
             CFS1.name, run_oversubscription_sweep(CFS1)
         ),
         render_greedy_vs_optimal(
-            [run_greedy_vs_optimal(cfg, runs=max(3, runs // 2)) for cfg in ALL_CFS]
+            [
+                run_greedy_vs_optimal(
+                    cfg, runs=max(3, runs // 2), workers=args.workers
+                )
+                for cfg in ALL_CFS
+            ]
         ),
     ]
     return "\n\n".join(parts)

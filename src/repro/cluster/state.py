@@ -184,13 +184,39 @@ class StripeView:
     rack_counts: tuple[int, ...]
     failed_rack: int
 
+    def rack_members(
+        self, topology: ClusterTopology
+    ) -> dict[int, tuple[int, ...]]:
+        """rack_id -> sorted surviving chunk indices, memoised per view.
+
+        The CAR selector asks for per-rack membership once per candidate
+        rack per candidate solution; computing the grouping once turns
+        those queries into dict lookups.  The memo is keyed on topology
+        identity (a view only ever meets one topology in practice).
+        """
+        cached = self.__dict__.get("_rack_members")
+        if cached is None or self.__dict__.get("_rack_topology") is not topology:
+            grouped: dict[int, list[int]] = {}
+            for c, nid in sorted(self.surviving.items()):
+                grouped.setdefault(topology.rack_of(nid), []).append(c)
+            cached = {rack: tuple(cs) for rack, cs in grouped.items()}
+            object.__setattr__(self, "_rack_members", cached)
+            object.__setattr__(self, "_rack_topology", topology)
+        return cached
+
     def chunks_in_rack(self, rack_id: int, topology: ClusterTopology) -> list[int]:
         """Surviving chunk indices of this stripe stored in ``rack_id``."""
-        return [
-            c
-            for c, nid in sorted(self.surviving.items())
-            if topology.rack_of(nid) == rack_id
-        ]
+        return list(self.rack_members(topology).get(rack_id, ()))
+
+    def __getstate__(self):
+        # Drop the memo (it holds a topology reference) so pickled views
+        # stay small and rebuild their cache lazily after transfer.
+        return {
+            k: v for k, v in self.__dict__.items() if not k.startswith("_")
+        }
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
 
 class ClusterState:

@@ -27,10 +27,10 @@ contrasts with CAR-over-RS.
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
-from functools import lru_cache
 
 import numpy as np
 
+from repro.cache import BoundedCache
 from repro.errors import (
     CodingError,
     InsufficientChunksError,
@@ -82,7 +82,12 @@ class LRCCode(ErasureCode):
         self.field: GaloisField = field
         self.group_size = k // l
         self.generator: GFMatrix = self._build_generator()
-        self._repair_cache = lru_cache(maxsize=1024)(self._repair_vector_cached)
+        self._repair_cache = BoundedCache(maxsize=1024)
+
+    def __reduce__(self):
+        # Rebuild from parameters (generator is deterministic; the repair
+        # cache warms back up) so the code pickles for process pools.
+        return (LRCCode, (self.k, self.l, self.g, self.w))
 
     # -- construction ----------------------------------------------------
 
@@ -246,7 +251,12 @@ class LRCCode(ErasureCode):
             raise CodingError("helper set must not contain the lost chunk")
         if len(set(helpers)) != len(helpers):
             raise CodingError("helper indices must be distinct")
-        return list(self._repair_cache(lost_index, helpers))
+        return list(
+            self._repair_cache.get_or_build(
+                (lost_index, helpers),
+                lambda: self._repair_vector_cached(lost_index, helpers),
+            )
+        )
 
     def reconstruct(
         self, lost_index: int, helpers: Mapping[int, np.ndarray]

@@ -20,10 +20,10 @@ decoding.
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
-from functools import lru_cache
 
 import numpy as np
 
+from repro.cache import BoundedCache
 from repro.errors import (
     CodingError,
     InsufficientChunksError,
@@ -95,9 +95,17 @@ class RSCode(ErasureCode):
         self.construction = construction
         self.field: GaloisField = field
         self.generator: GFMatrix = self._build_generator()
-        # Cache decode matrices keyed by the surviving-row tuple; repair is
-        # called once per stripe during recovery and patterns repeat.
-        self._inverse_cache = lru_cache(maxsize=512)(self._invert_rows)
+        # Cache decode matrices keyed by the surviving-row tuple and
+        # repair vectors keyed by (lost, helpers); repair is called once
+        # per stripe during recovery and patterns repeat heavily.
+        self._inverse_cache = BoundedCache(maxsize=512)
+        self._repair_cache = BoundedCache(maxsize=2048)
+
+    def __reduce__(self):
+        # Rebuild from parameters: the generator is deterministic and the
+        # caches warm back up — keeps cluster states cheap to ship to
+        # process-pool experiment workers.
+        return (RSCode, (self.k, self.m, self.w, self.construction))
 
     # -- construction -----------------------------------------------------
 
@@ -147,7 +155,9 @@ class RSCode(ErasureCode):
 
     def _invert_rows(self, rows: tuple[int, ...]) -> GFMatrix:
         """Inverse of the generator's submatrix for the given row indices."""
-        return self.generator.take_rows(list(rows)).invert()
+        return self._inverse_cache.get_or_build(
+            rows, lambda: self.generator.take_rows(list(rows)).invert()
+        )
 
     def decode(self, available: Mapping[int, np.ndarray]) -> list[np.ndarray]:
         """Reconstruct all ``k`` data chunks from any ``k`` available chunks."""
@@ -161,7 +171,7 @@ class RSCode(ErasureCode):
                 raise CodingError(f"chunk index {i} out of range for n={self.n}")
         bufs = [available[i] for i in indices]
         self._check_chunks(bufs)
-        inverse = self._inverse_cache(tuple(indices))
+        inverse = self._invert_rows(tuple(indices))
         return matrix_apply(self.field, inverse.data, bufs)
 
     def decode_all(self, available: Mapping[int, np.ndarray]) -> list[np.ndarray]:
@@ -171,6 +181,25 @@ class RSCode(ErasureCode):
 
     # -- single-failure repair ------------------------------------------------
 
+    def _repair_vector_uncached(self, lost_index: int, helpers: tuple[int, ...]) -> tuple[int, ...]:
+        """``y = g_lost · X`` as one vectorised log/exp pass.
+
+        The double loop over ``mul`` calls is replaced with table
+        gathers: products are ``exp[log[a] + log[b]]`` computed for the
+        whole ``k x k`` operand grid at once, zero operands masked out,
+        then XOR-reduced down the columns.
+        """
+        inverse = self._invert_rows(helpers)
+        t = self.field.tables
+        g_lost = self.generator.row(lost_index).astype(np.int64)
+        x = inverse.data.astype(np.int64)
+        nonzero = (g_lost[:, None] != 0) & (x != 0)
+        logs = t.log[g_lost][:, None] + t.log[x]
+        logs[~nonzero] = 0  # log[0] is a sentinel; keep indices in range
+        products = t.exp[logs]
+        products[~nonzero] = 0
+        return tuple(int(v) for v in np.bitwise_xor.reduce(products, axis=0))
+
     def repair_vector(
         self, lost_index: int, helper_indices: Sequence[int]
     ) -> list[int]:
@@ -178,10 +207,12 @@ class RSCode(ErasureCode):
 
         ``X`` is the inverse of the generator submatrix for the helper
         rows; the returned list is ordered to match ``helper_indices``.
+        The result is cached per ``(lost_index, helpers)`` — recovery
+        plans repeat the same few helper patterns across stripes.
         """
         if not 0 <= lost_index < self.n:
             raise CodingError(f"lost index {lost_index} out of range")
-        helpers = list(helper_indices)
+        helpers = tuple(helper_indices)
         if len(helpers) != self.k:
             raise InsufficientChunksError(
                 f"repair needs exactly k={self.k} helpers, got {len(helpers)}"
@@ -190,17 +221,12 @@ class RSCode(ErasureCode):
             raise CodingError("helper set must not contain the lost chunk")
         if len(set(helpers)) != len(helpers):
             raise CodingError("helper indices must be distinct")
-        inverse = self._inverse_cache(tuple(helpers))
-        g_lost = self.generator.row(lost_index).tolist()
-        # y = g_lost (1 x k) times X (k x k)
-        f = self.field
-        y = []
-        for col in range(self.k):
-            acc = 0
-            for t in range(self.k):
-                acc ^= f.mul(int(g_lost[t]), int(inverse.data[t, col]))
-            y.append(acc)
-        return y
+        return list(
+            self._repair_cache.get_or_build(
+                (lost_index, helpers),
+                lambda: self._repair_vector_uncached(lost_index, helpers),
+            )
+        )
 
     def reconstruct(
         self, lost_index: int, helpers: Mapping[int, np.ndarray]

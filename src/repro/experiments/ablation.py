@@ -21,15 +21,16 @@ from dataclasses import dataclass, replace
 
 from repro.cluster.topology import BandwidthProfile
 from repro.experiments.configs import MB, CFSConfig, build_state
+from repro.experiments.factories import (
+    CarFactory,
+    EnumerationFactory,
+    MinRackNoAggFactory,
+    RandomAggregatedFactory,
+    RandomRecoveryFactory,
+)
 from repro.experiments.runner import ExperimentRunner, mean_std
 from repro.cluster.failure import FailureInjector
-from repro.recovery.baselines import (
-    CarStrategy,
-    EnumerationBalancedStrategy,
-    MinRackNoAggregationStrategy,
-    RandomAggregatedStrategy,
-    RandomRecoveryStrategy,
-)
+from repro.recovery.baselines import CarStrategy, RandomRecoveryStrategy
 from repro.recovery.planner import plan_recovery
 from repro.sim.recovery_sim import RecoverySimulator
 
@@ -60,6 +61,7 @@ def run_traffic_ablation(
     runs: int = 20,
     base_seed: int = 20160711,
     num_stripes: int | None = None,
+    workers: int | None = None,
 ) -> TrafficAblationResult:
     """Decompose CAR's traffic saving into its two techniques."""
     runner = ExperimentRunner(
@@ -67,11 +69,12 @@ def run_traffic_ablation(
     )
     results = runner.run_all(
         {
-            "RR": lambda seed: RandomRecoveryStrategy(rng=seed),
-            "MinRack-noAgg": lambda seed: MinRackNoAggregationStrategy(),
-            "Random+Agg": lambda seed: RandomAggregatedStrategy(rng=seed),
-            "CAR": lambda seed: CarStrategy(load_balance=True),
-        }
+            "RR": RandomRecoveryFactory(),
+            "MinRack-noAgg": MinRackNoAggFactory(),
+            "Random+Agg": RandomAggregatedFactory(),
+            "CAR": CarFactory(),
+        },
+        workers=workers,
     )
     traffic = {
         name: mean_std(
@@ -156,6 +159,7 @@ def run_greedy_vs_optimal(
     runs: int = 10,
     num_stripes: int = 6,
     base_seed: int = 20160713,
+    workers: int | None = None,
 ) -> GreedyVsOptimalResult:
     """Compare Algorithm 2 against exhaustive enumeration.
 
@@ -166,10 +170,8 @@ def run_greedy_vs_optimal(
         config, runs=runs, base_seed=base_seed, num_stripes=num_stripes
     )
     results = runner.run_all(
-        {
-            "CAR": lambda seed: CarStrategy(load_balance=True),
-            "Enumeration": lambda seed: EnumerationBalancedStrategy(),
-        }
+        {"CAR": CarFactory(), "Enumeration": EnumerationFactory()},
+        workers=workers,
     )
     greedy = tuple(
         r.solutions["CAR"].load_balancing_rate() for r in results

@@ -1,0 +1,86 @@
+"""Picklable per-run strategy factories for the experiment drivers.
+
+:meth:`ExperimentRunner.run_all` re-instantiates every strategy with the
+run's seed so randomised strategies are reproducible.  The natural
+``lambda seed: SomeStrategy(...)`` closures cannot cross a process
+boundary, so the parallel driver (``workers > 1``) needs factories that
+pickle: the frozen dataclasses below capture the constructor arguments
+as fields and build the strategy in ``__call__``.
+
+They behave identically to the closures they replace in serial runs, so
+the figure drivers use them unconditionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.recovery.baselines import (
+    CarStrategy,
+    EnumerationBalancedStrategy,
+    MinRackNoAggregationStrategy,
+    RandomAggregatedStrategy,
+    RandomRecoveryStrategy,
+    RecoveryStrategy,
+)
+
+__all__ = [
+    "CarFactory",
+    "RandomRecoveryFactory",
+    "MinRackNoAggFactory",
+    "RandomAggregatedFactory",
+    "EnumerationFactory",
+]
+
+
+@dataclass(frozen=True)
+class CarFactory:
+    """Builds a :class:`CarStrategy`; the seed is unused (CAR is
+    deterministic given the cluster state)."""
+
+    load_balance: bool = True
+    iterations: int = 50
+    warm_start: bool = False
+
+    def __call__(self, seed: int) -> RecoveryStrategy:
+        return CarStrategy(
+            load_balance=self.load_balance,
+            iterations=self.iterations,
+            warm_start=self.warm_start,
+        )
+
+
+@dataclass(frozen=True)
+class RandomRecoveryFactory:
+    """Builds the RR baseline seeded with the run seed."""
+
+    def __call__(self, seed: int) -> RecoveryStrategy:
+        return RandomRecoveryStrategy(rng=seed)
+
+
+@dataclass(frozen=True)
+class MinRackNoAggFactory:
+    """Builds the minimum-rack-without-aggregation ablation strategy."""
+
+    def __call__(self, seed: int) -> RecoveryStrategy:
+        return MinRackNoAggregationStrategy()
+
+
+@dataclass(frozen=True)
+class RandomAggregatedFactory:
+    """Builds the random-with-aggregation ablation, seeded per run."""
+
+    def __call__(self, seed: int) -> RecoveryStrategy:
+        return RandomAggregatedStrategy(rng=seed)
+
+
+@dataclass(frozen=True)
+class EnumerationFactory:
+    """Builds the exhaustive λ-optimal strategy (small instances only)."""
+
+    max_combinations: int = 200_000
+
+    def __call__(self, seed: int) -> RecoveryStrategy:
+        return EnumerationBalancedStrategy(
+            max_combinations=self.max_combinations
+        )

@@ -15,8 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.configs import ALL_CFS, MB, PAPER_CHUNK_SIZES, CFSConfig
+from repro.experiments.factories import CarFactory, RandomRecoveryFactory
 from repro.experiments.runner import ExperimentRunner, Series, mean_std
-from repro.recovery.baselines import CarStrategy, RandomRecoveryStrategy
 
 __all__ = ["Fig7Result", "run_fig7", "run_fig7_single"]
 
@@ -47,16 +47,15 @@ def run_fig7_single(
     chunk_sizes: tuple[int, ...] = PAPER_CHUNK_SIZES,
     base_seed: int = 20160707,
     num_stripes: int | None = None,
+    workers: int | None = None,
 ) -> Fig7Result:
     """Reproduce one panel (one CFS) of Figure 7."""
     runner = ExperimentRunner(
         config, runs=runs, base_seed=base_seed, num_stripes=num_stripes
     )
     results = runner.run_all(
-        {
-            "CAR": lambda seed: CarStrategy(load_balance=True),
-            "RR": lambda seed: RandomRecoveryStrategy(rng=seed),
-        }
+        {"CAR": CarFactory(), "RR": RandomRecoveryFactory()},
+        workers=workers,
     )
     chunks_per_run = {
         name: [r.solutions[name].total_cross_rack_traffic() for r in results]
@@ -86,6 +85,7 @@ def run_fig7(
     chunk_sizes: tuple[int, ...] = PAPER_CHUNK_SIZES,
     base_seed: int = 20160707,
     num_stripes: int | None = None,
+    workers: int | None = None,
 ) -> list[Fig7Result]:
     """Reproduce all three panels of Figure 7."""
     return [
@@ -95,6 +95,7 @@ def run_fig7(
             chunk_sizes=chunk_sizes,
             base_seed=base_seed,
             num_stripes=num_stripes,
+            workers=workers,
         )
         for cfg in ALL_CFS
     ]

@@ -11,12 +11,15 @@ on the testbed).
 from __future__ import annotations
 
 import math
+import pickle
 import statistics
 from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.cluster.failure import FailureInjector
 from repro.cluster.state import ClusterState, FailureEvent
+from repro.errors import ConfigurationError
 from repro.experiments.configs import CFSConfig, build_state
 from repro.recovery.baselines import RecoveryStrategy
 from repro.recovery.solution import MultiStripeSolution
@@ -100,6 +103,7 @@ class ExperimentRunner:
     def run_all(
         self,
         strategy_factories: dict[str, Callable[[int], RecoveryStrategy]],
+        workers: int | None = None,
     ) -> list[RunResult]:
         """Execute every run with freshly built strategies.
 
@@ -107,8 +111,40 @@ class ExperimentRunner:
             strategy_factories: name -> factory taking the run seed and
                 returning a strategy instance (strategies with RNGs must
                 be re-seeded per run for reproducibility).
+            workers: number of worker processes.  ``None`` or ``1`` runs
+                serially in-process; larger values fan the independent
+                runs out over a :class:`ProcessPoolExecutor`.  Each run
+                is a pure function of ``(config, base_seed + i,
+                factories)``, and results are gathered in run order, so
+                the output is identical for every worker count.
+
+        Raises:
+            ConfigurationError: if ``workers`` is not positive, or the
+                factories cannot be pickled for worker processes (use
+                the classes in :mod:`repro.experiments.factories`
+                instead of lambdas when parallelising).
         """
-        return [self.run_one(i, strategy_factories) for i in range(self.runs)]
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if workers is None or workers == 1 or self.runs <= 1:
+            return [
+                self.run_one(i, strategy_factories) for i in range(self.runs)
+            ]
+        try:
+            pickle.dumps(strategy_factories)
+        except Exception as exc:
+            raise ConfigurationError(
+                "strategy factories must be picklable for workers > 1 "
+                "(lambdas are not; use repro.experiments.factories)"
+            ) from exc
+        with ProcessPoolExecutor(
+            max_workers=min(workers, self.runs)
+        ) as pool:
+            futures = [
+                pool.submit(self.run_one, i, strategy_factories)
+                for i in range(self.runs)
+            ]
+            return [f.result() for f in futures]
 
     def run_one(
         self,

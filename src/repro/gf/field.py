@@ -53,6 +53,11 @@ class GaloisField:
     def __hash__(self) -> int:
         return hash(("GaloisField", self.w))
 
+    def __reduce__(self):
+        # Pickle as a factory call: unpickling returns the cached
+        # singleton (cheap — no table arrays ship across process pools).
+        return (gf, (self.w,))
+
     # -- validation ---------------------------------------------------
 
     def check(self, a: int) -> int:

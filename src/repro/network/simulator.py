@@ -62,7 +62,12 @@ def maxmin_rates(
         share[contended] = remaining[contended] / counts[contended]
         bottleneck = int(np.argmin(share))
         r = max(share[bottleneck], 0.0)
-        to_freeze = incidence[bottleneck] & unfrozen
+        # Freeze every link tied at the bottleneck share in one pass: a
+        # tied link's own share is unchanged by removing another tied
+        # link's flows (both sides of remaining/count scale by the same
+        # fair share), so this matches one-at-a-time freezing.
+        tied = contended & (share == share[bottleneck])
+        to_freeze = incidence[tied].any(axis=0) & unfrozen
         rates[to_freeze] = r
         # Subtract the newly frozen flows' rate from every link they use.
         remaining -= r * (inc[:, to_freeze].sum(axis=1))

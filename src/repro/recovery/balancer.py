@@ -168,9 +168,7 @@ class GreedyLoadBalancer:
             key=lambda r: (t[r], r),
         )
         for i_rack in candidates:
-            for sol in current.solutions:
-                if not sol.uses_rack(l_rack):
-                    continue
+            for sol in current.solutions_using(l_rack):
                 view = views.get(sol.stripe_id)
                 if view is None:
                     raise RecoveryError(

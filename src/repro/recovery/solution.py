@@ -141,6 +141,11 @@ class MultiStripeSolution:
         self.num_racks = num_racks
         self.aggregated = aggregated
         self.failed_rack = failed_racks.pop()
+        # Lazy caches: solutions never change after construction
+        # (replace() builds a new object), so traffic totals and the
+        # rack -> solutions index are computed at most once each.
+        self._traffic: list[int] | None = None
+        self._by_rack: dict[int, tuple[PerStripeSolution, ...]] | None = None
 
     def __len__(self) -> int:
         return len(self.solutions)
@@ -172,11 +177,29 @@ class MultiStripeSolution:
 
     def traffic_by_rack(self) -> list[int]:
         """``t_{i,f}`` in chunk units for every rack ``i`` (0 at ``A_f``)."""
-        t = [0] * self.num_racks
-        for sol in self.solutions:
-            for rack, amount in sol.cross_rack_chunks(self.aggregated).items():
-                t[rack] += amount
-        return t
+        if self._traffic is None:
+            t = [0] * self.num_racks
+            for sol in self.solutions:
+                for rack, amount in sol.cross_rack_chunks(
+                    self.aggregated
+                ).items():
+                    t[rack] += amount
+            self._traffic = t
+        return list(self._traffic)
+
+    def solutions_using(self, rack_id: int) -> tuple[PerStripeSolution, ...]:
+        """Per-stripe solutions that read from ``rack_id``, stripe-sorted.
+
+        Backed by a lazily built rack -> solutions index so Algorithm 2
+        does not rescan every stripe per substitution attempt.
+        """
+        if self._by_rack is None:
+            index: dict[int, list[PerStripeSolution]] = {}
+            for sol in self.solutions:
+                for rack in sol.chunks_by_rack:
+                    index.setdefault(rack, []).append(sol)
+            self._by_rack = {r: tuple(s) for r, s in index.items()}
+        return self._by_rack.get(rack_id, ())
 
     def total_cross_rack_traffic(self) -> int:
         """Total cross-rack repair traffic, in chunk units."""

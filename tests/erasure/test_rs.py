@@ -196,4 +196,5 @@ class TestDecodeCache:
         a = rs63.reconstruct(0, helpers)
         b = rs63.reconstruct(0, helpers)
         assert np.array_equal(a, b)
-        assert rs63._inverse_cache.cache_info().hits >= 1
+        # The second reconstruct reuses the cached repair plan outright.
+        assert rs63._repair_cache.hits >= 1

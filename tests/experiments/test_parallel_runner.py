@@ -1,0 +1,82 @@
+"""The parallel experiment driver must be invisible in the results.
+
+``run_all(workers=N)`` fans independent runs over worker processes;
+every run is a pure function of ``(config, base_seed + i, factories)``
+and results are gathered in submission order, so the output must be
+byte-identical to the serial loop for any worker count.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    CFS1,
+    CarFactory,
+    ExperimentRunner,
+    RandomRecoveryFactory,
+)
+
+
+def _runner(runs=3):
+    return ExperimentRunner(CFS1, runs=runs, num_stripes=12)
+
+
+def _fingerprint(results):
+    """Everything observable about a result list, as plain data."""
+    out = []
+    for r in results:
+        per_strategy = {}
+        for name, sol in sorted(r.solutions.items()):
+            per_strategy[name] = (
+                tuple(sol.traffic_by_rack()),
+                sol.load_balancing_rate(),
+                tuple(
+                    (s.stripe_id, tuple(sorted(s.chunks_by_rack.items())))
+                    for s in sol.solutions
+                ),
+            )
+        out.append((r.run_index, r.event.failed_node, per_strategy))
+    return out
+
+
+FACTORIES = {"CAR": CarFactory(), "RR": RandomRecoveryFactory()}
+
+
+class TestParallelIdentity:
+    def test_workers_2_identical_to_serial(self):
+        serial = _runner().run_all(FACTORIES, workers=1)
+        parallel = _runner().run_all(FACTORIES, workers=2)
+        assert _fingerprint(serial) == _fingerprint(parallel)
+
+    def test_workers_none_is_serial_default(self):
+        assert _fingerprint(_runner().run_all(FACTORIES)) == _fingerprint(
+            _runner().run_all(FACTORIES, workers=1)
+        )
+
+    def test_parallel_preserves_strategy_artifacts(self):
+        """Balance traces survive the pickle trip back from workers."""
+        results = _runner(runs=2).run_all({"CAR": CarFactory()}, workers=2)
+        for r in results:
+            trace = r.strategies["CAR"].last_trace
+            assert trace is not None
+            assert trace.lambdas
+
+
+class TestParallelValidation:
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ConfigurationError):
+            _runner().run_all(FACTORIES, workers=0)
+
+    def test_rejects_unpicklable_factories(self):
+        with pytest.raises(ConfigurationError, match="picklable"):
+            _runner().run_all(
+                {"CAR": lambda seed: None}, workers=2
+            )
+
+    def test_lambdas_still_fine_serially(self):
+        from repro.recovery.baselines import CarStrategy
+
+        results = _runner(runs=1).run_all(
+            {"CAR": lambda seed: CarStrategy()}
+        )
+        assert len(results) == 1

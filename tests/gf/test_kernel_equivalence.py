@@ -1,0 +1,139 @@
+"""Property tests: the batched GF kernels equal the scalar reference.
+
+The batched kernels in :mod:`repro.gf.vector` (packed-lane gathers,
+pair tables, split-nibble GF(2^16) tables) are pure optimisations — for
+every field width they must reproduce, bit for bit, the double loop
+over :meth:`GaloisField.mul` they replaced.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.gf.field import GF4, GF8, GF16, gf
+from repro.gf.vector import (
+    as_field_buffer,
+    batch_dot,
+    buffer_dtype,
+    dot_rows,
+    matrix_apply,
+)
+
+FIELDS = (GF4, GF8, GF16)
+
+
+def reference_batch_dot(field, rows, bufs):
+    """The scalar double loop the batched kernel replaces."""
+    length = len(bufs[0])
+    out = np.zeros((len(rows), length), dtype=buffer_dtype(field))
+    for i, row in enumerate(rows):
+        for c, buf in zip(row, bufs):
+            for j in range(length):
+                out[i, j] ^= field.mul(int(c), int(buf[j]))
+    return out
+
+
+@st.composite
+def batch_case(draw):
+    field = draw(st.sampled_from(FIELDS))
+    n = draw(st.integers(1, 5))
+    r = draw(st.integers(1, 6))
+    length = draw(st.integers(1, 17))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    dtype = buffer_dtype(field)
+    rows = rng.integers(0, field.order, (r, n), dtype=np.int64)
+    # Bias toward the special coefficients the kernel short-circuits.
+    for special in (0, 1):
+        if draw(st.booleans()):
+            rows[
+                rng.integers(0, r), rng.integers(0, n)
+            ] = special
+    bufs = [
+        rng.integers(0, field.order, length, dtype=dtype) for _ in range(n)
+    ]
+    return field, rows, bufs
+
+
+class TestBatchDotEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(case=batch_case())
+    def test_matches_scalar_reference(self, case):
+        field, rows, bufs = case
+        got = batch_dot(field, rows, bufs)
+        want = reference_batch_dot(field, rows, bufs)
+        assert got.dtype == want.dtype
+        assert np.array_equal(got, want)
+
+    @settings(max_examples=30, deadline=None)
+    @given(case=batch_case())
+    def test_out_buffer_reused(self, case):
+        field, rows, bufs = case
+        out = np.ones(
+            (rows.shape[0], len(bufs[0])), dtype=buffer_dtype(field)
+        )
+        got = batch_dot(field, rows, bufs, out=out)
+        assert got is out
+        assert np.array_equal(out, reference_batch_dot(field, rows, bufs))
+
+    @settings(max_examples=30, deadline=None)
+    @given(case=batch_case())
+    def test_dot_rows_is_first_row(self, case):
+        field, rows, bufs = case
+        got = dot_rows(field, [int(v) for v in rows[0]], bufs)
+        assert np.array_equal(got, reference_batch_dot(field, rows[:1], bufs)[0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(case=batch_case())
+    def test_matrix_apply_rows(self, case):
+        field, rows, bufs = case
+        got = matrix_apply(field, rows, bufs)
+        want = reference_batch_dot(field, rows, bufs)
+        assert len(got) == rows.shape[0]
+        for i, g in enumerate(got):
+            assert np.array_equal(g, want[i])
+
+    def test_rejects_out_of_field_coefficients(self):
+        bufs = [np.zeros(4, dtype=np.uint8)]
+        with pytest.raises(FieldError):
+            batch_dot(GF8, np.array([[256]]), bufs)
+
+    def test_gf16_wide_values(self):
+        """Exercise both nibbles of GF(2^16) operands explicitly."""
+        field = gf(16)
+        rows = np.array([[0x1234, 0xFF00], [0x00FF, 0x8001]], dtype=np.int64)
+        bufs = [
+            np.array([0xFFFF, 0x0100, 0x0001, 0xABCD], dtype=np.uint16),
+            np.array([0x8000, 0x7FFF, 0x0002, 0x0000], dtype=np.uint16),
+        ]
+        assert np.array_equal(
+            batch_dot(field, rows, bufs), reference_batch_dot(field, rows, bufs)
+        )
+
+
+class TestAsFieldBufferViews:
+    def test_bytes_default_is_readonly_view(self):
+        raw = b"\x01\x02\x03\x04"
+        buf = as_field_buffer(GF8, raw)
+        assert not buf.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            buf[0] = 9
+
+    def test_bytes_copy_flag_gives_writable(self):
+        buf = as_field_buffer(GF8, b"\x01\x02", copy=True)
+        assert buf.flags.writeable
+        buf[0] = 7
+        assert buf[0] == 7
+
+    def test_ndarray_default_zero_copy(self):
+        arr = np.arange(8, dtype=np.uint8)
+        buf = as_field_buffer(GF8, arr)
+        assert np.shares_memory(arr, buf)
+
+    def test_ndarray_copy_flag_detaches(self):
+        arr = np.arange(8, dtype=np.uint8)
+        buf = as_field_buffer(GF8, arr, copy=True)
+        assert not np.shares_memory(arr, buf)
+        buf[0] = 99
+        assert arr[0] == 0
