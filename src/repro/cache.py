@@ -17,6 +17,7 @@ from collections.abc import Callable, Hashable
 from typing import TypeVar
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import register_cache
 
 __all__ = ["BoundedCache"]
 
@@ -32,19 +33,28 @@ class BoundedCache:
     Args:
         maxsize: maximum number of entries kept; the least recently
             *used* (read or written) entry is evicted first.
+        name: optional telemetry name.  Named caches self-register
+            (weakly) with :mod:`repro.obs.metrics` at construction, so
+            their hit/miss/eviction stats appear in metrics snapshots
+            and ``repro-car metrics`` without call-site changes; several
+            instances may share one name and aggregate.
 
     The cache is deliberately minimal: ``get`` / ``put`` /
-    :meth:`get_or_build`, plus ``hits``/``misses`` counters so benches
-    can assert cache effectiveness.
+    :meth:`get_or_build`, plus ``hits``/``misses``/``evictions``
+    counters so benches can assert cache effectiveness.
     """
 
-    def __init__(self, maxsize: int) -> None:
+    def __init__(self, maxsize: int, name: str | None = None) -> None:
         if maxsize < 1:
             raise ConfigurationError(f"cache maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
+        self.name = name
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._data: OrderedDict = OrderedDict()
+        if name is not None:
+            register_cache(name, self)
 
     def __len__(self) -> int:
         return len(self._data)
@@ -68,6 +78,7 @@ class BoundedCache:
         self._data.move_to_end(key)
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
+            self.evictions += 1
         return value
 
     def get_or_build(self, key: K, builder: Callable[[], V]) -> V:
@@ -85,7 +96,8 @@ class BoundedCache:
         self._data.clear()
 
     def __repr__(self) -> str:
+        label = f"{self.name!r}, " if self.name else ""
         return (
-            f"BoundedCache(size={len(self._data)}/{self.maxsize}, "
+            f"BoundedCache({label}size={len(self._data)}/{self.maxsize}, "
             f"hits={self.hits}, misses={self.misses})"
         )

@@ -8,6 +8,12 @@ Examples::
     repro-car fig10                # time breakdown (Figure 10)
     repro-car ablation             # traffic decomposition + sweeps
     repro-car all --runs 5         # everything, fast settings
+
+Telemetry::
+
+    repro-car fig7 --runs 2 --telemetry out/   # persist trace + metrics
+    repro-car trace out/CFS1/trace.jsonl       # per-stage/per-rack summary
+    repro-car metrics out/CFS1/metrics.json    # counters/histograms/caches
 """
 
 from __future__ import annotations
@@ -53,9 +59,30 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=[
             "fig7", "fig8", "fig9", "fig10", "ablation", "landscape",
-            "longrun", "degraded", "all",
+            "longrun", "degraded", "all", "trace", "metrics",
         ],
-        help="which figure/experiment to regenerate",
+        help=(
+            "which figure/experiment to regenerate, or a telemetry "
+            "reporting command (trace/metrics)"
+        ),
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help=(
+            "artifact to render: a trace.jsonl for 'trace', a "
+            "metrics.json for 'metrics' (ignored by experiments)"
+        ),
+    )
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help=(
+            "record a span trace and metrics snapshot for experiments "
+            "that support it (fig7) into DIR"
+        ),
     )
     parser.add_argument(
         "--runs",
@@ -113,8 +140,26 @@ def _maybe_plot(args, results, title, series_of, y_label):
     return "\n\n" + "\n\n".join(charts)
 
 
+def _run_trace(args: argparse.Namespace) -> str:
+    from repro.obs import read_jsonl, render_trace
+
+    return render_trace(read_jsonl(args.path))
+
+
+def _run_metrics(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.obs import render_metrics
+
+    with open(args.path, encoding="utf-8") as fh:
+        return render_metrics(json.load(fh))
+
+
 def _run_fig7(args: argparse.Namespace) -> str:
-    results = run_fig7(**_kwargs(args, default_runs=50))
+    kwargs = _kwargs(args, default_runs=50)
+    if args.telemetry is not None:
+        kwargs["telemetry"] = args.telemetry
+    results = run_fig7(**kwargs)
     return render_fig7(results) + _maybe_plot(
         args,
         results,
@@ -272,7 +317,10 @@ def _run_ablation(args: argparse.Namespace) -> str:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment in ("trace", "metrics") and args.path is None:
+        parser.error(f"'{args.experiment}' requires a file path argument")
     handlers = {
         "fig7": _run_fig7,
         "fig8": _run_fig8,
@@ -282,6 +330,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "landscape": _run_landscape,
         "longrun": _run_longrun,
         "degraded": _run_degraded,
+        "trace": _run_trace,
+        "metrics": _run_metrics,
     }
     if args.experiment == "all":
         outputs = [

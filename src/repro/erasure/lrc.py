@@ -82,7 +82,7 @@ class LRCCode(ErasureCode):
         self.field: GaloisField = field
         self.group_size = k // l
         self.generator: GFMatrix = self._build_generator()
-        self._repair_cache = BoundedCache(maxsize=1024)
+        self._repair_cache = BoundedCache(maxsize=1024, name="lrc.repair_vector")
 
     def __reduce__(self):
         # Rebuild from parameters (generator is deterministic; the repair

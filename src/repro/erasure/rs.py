@@ -98,8 +98,8 @@ class RSCode(ErasureCode):
         # Cache decode matrices keyed by the surviving-row tuple and
         # repair vectors keyed by (lost, helpers); repair is called once
         # per stripe during recovery and patterns repeat heavily.
-        self._inverse_cache = BoundedCache(maxsize=512)
-        self._repair_cache = BoundedCache(maxsize=2048)
+        self._inverse_cache = BoundedCache(maxsize=512, name="rs.decode_matrix")
+        self._repair_cache = BoundedCache(maxsize=2048, name="rs.repair_vector")
 
     def __reduce__(self):
         # Rebuild from parameters: the generator is deterministic and the

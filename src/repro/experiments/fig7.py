@@ -13,6 +13,7 @@ with ``k`` (paper: 52.4 % on CFS1 at 4 MB up to 66.9 % on CFS3 at 16 MB).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.experiments.configs import ALL_CFS, MB, PAPER_CHUNK_SIZES, CFSConfig
 from repro.experiments.factories import CarFactory, RandomRecoveryFactory
@@ -48,10 +49,18 @@ def run_fig7_single(
     base_seed: int = 20160707,
     num_stripes: int | None = None,
     workers: int | None = None,
+    telemetry: str | Path | None = None,
 ) -> Fig7Result:
-    """Reproduce one panel (one CFS) of Figure 7."""
+    """Reproduce one panel (one CFS) of Figure 7.
+
+    Args:
+        telemetry: optional directory; the panel's runs then persist a
+            ``trace.jsonl`` + ``metrics.json`` pair into it (see
+            :class:`~repro.experiments.runner.ExperimentRunner`).
+    """
     runner = ExperimentRunner(
-        config, runs=runs, base_seed=base_seed, num_stripes=num_stripes
+        config, runs=runs, base_seed=base_seed, num_stripes=num_stripes,
+        telemetry=telemetry,
     )
     results = runner.run_all(
         {"CAR": CarFactory(), "RR": RandomRecoveryFactory()},
@@ -86,8 +95,14 @@ def run_fig7(
     base_seed: int = 20160707,
     num_stripes: int | None = None,
     workers: int | None = None,
+    telemetry: str | Path | None = None,
 ) -> list[Fig7Result]:
-    """Reproduce all three panels of Figure 7."""
+    """Reproduce all three panels of Figure 7.
+
+    Args:
+        telemetry: optional directory; each panel writes its artifacts
+            into a ``<telemetry>/<config name>`` subdirectory.
+    """
     return [
         run_fig7_single(
             cfg,
@@ -96,6 +111,9 @@ def run_fig7(
             base_seed=base_seed,
             num_stripes=num_stripes,
             workers=workers,
+            telemetry=(
+                Path(telemetry) / cfg.name if telemetry is not None else None
+            ),
         )
         for cfg in ALL_CFS
     ]

@@ -10,21 +10,46 @@ on the testbed).
 
 from __future__ import annotations
 
+import json
 import math
 import pickle
 import statistics
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.cluster.failure import FailureInjector
 from repro.cluster.state import ClusterState, FailureEvent
 from repro.errors import ConfigurationError
 from repro.experiments.configs import CFSConfig, build_state
+from repro.obs.metrics import MetricsRegistry, telemetry_scope
+from repro.obs.tracer import Tracer
 from repro.recovery.baselines import RecoveryStrategy
 from repro.recovery.solution import MultiStripeSolution
 
-__all__ = ["RunResult", "Series", "ExperimentRunner", "mean_std"]
+__all__ = [
+    "RunTelemetry", "RunResult", "Series", "ExperimentRunner", "mean_std",
+]
+
+#: Reusable no-op context for the telemetry-disabled run path.
+_NULL_CTX = nullcontext()
+
+
+@dataclass(frozen=True)
+class RunTelemetry:
+    """Telemetry captured by one run, serialisable across processes.
+
+    Attributes:
+        events: the run's JSONL-ready trace records (spans + events).
+        metrics: the run's registry snapshot (no cache section — cache
+            stats are process-local and would not aggregate
+            deterministically across worker counts).
+    """
+
+    events: tuple[dict, ...]
+    metrics: dict
 
 
 @dataclass(frozen=True)
@@ -38,6 +63,8 @@ class RunResult:
         solutions: strategy name -> its solution.
         strategies: strategy name -> the strategy instance (so callers
             can read per-strategy artefacts such as balance traces).
+        telemetry: the run's captured trace + metrics when the runner
+            was constructed with a ``telemetry`` directory, else None.
     """
 
     run_index: int
@@ -45,6 +72,7 @@ class RunResult:
     event: FailureEvent
     solutions: dict[str, MultiStripeSolution]
     strategies: dict[str, RecoveryStrategy]
+    telemetry: RunTelemetry | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -86,6 +114,13 @@ class ExperimentRunner:
         base_seed: root seed; run ``i`` uses ``base_seed + i`` for both
             placement and failure choice.
         num_stripes: stripes per run (paper: 100).
+        telemetry: optional directory.  When set, every run records a
+            span trace and a fresh per-run metrics registry (shipped
+            back from worker processes as plain dicts), and
+            :meth:`run_all` persists ``trace.jsonl`` (each record
+            annotated with its run index) and ``metrics.json`` (the
+            per-run registries merged in run order — identical for any
+            worker count) into the directory.
     """
 
     def __init__(
@@ -94,11 +129,13 @@ class ExperimentRunner:
         runs: int = 50,
         base_seed: int = 20160628,
         num_stripes: int | None = None,
+        telemetry: str | Path | None = None,
     ) -> None:
         self.config = config
         self.runs = runs
         self.base_seed = base_seed
         self.num_stripes = num_stripes
+        self.telemetry = Path(telemetry) if telemetry is not None else None
 
     def run_all(
         self,
@@ -127,9 +164,10 @@ class ExperimentRunner:
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         if workers is None or workers == 1 or self.runs <= 1:
-            return [
+            results = [
                 self.run_one(i, strategy_factories) for i in range(self.runs)
             ]
+            return self._persist_telemetry(results)
         try:
             pickle.dumps(strategy_factories)
         except Exception as exc:
@@ -144,24 +182,109 @@ class ExperimentRunner:
                 pool.submit(self.run_one, i, strategy_factories)
                 for i in range(self.runs)
             ]
-            return [f.result() for f in futures]
+            results = [f.result() for f in futures]
+        return self._persist_telemetry(results)
+
+    def _persist_telemetry(self, results: list[RunResult]) -> list[RunResult]:
+        """Write the aggregate trace + metrics of a telemetry-enabled batch.
+
+        Per-run snapshots merge in run order, so the ``metrics.json``
+        aggregate is bit-identical for any worker count; the cache
+        section reflects this (parent) process only.
+        """
+        if self.telemetry is None:
+            return results
+        self.telemetry.mkdir(parents=True, exist_ok=True)
+        merged = MetricsRegistry()
+        trace_path = self.telemetry / "trace.jsonl"
+        with trace_path.open("w", encoding="utf-8") as fh:
+            for r in results:
+                if r.telemetry is None:  # pragma: no cover - defensive
+                    continue
+                merged.merge(r.telemetry.metrics)
+                for record in r.telemetry.events:
+                    fh.write(
+                        json.dumps({**record, "run": r.run_index},
+                                   sort_keys=True)
+                        + "\n"
+                    )
+        merged.write_json(self.telemetry / "metrics.json")
+        return results
+
+    def merged_metrics(self, results: Sequence[RunResult]) -> MetricsRegistry:
+        """Fold the per-run snapshots of ``results`` into one registry."""
+        merged = MetricsRegistry()
+        for r in results:
+            if r.telemetry is not None:
+                merged.merge(r.telemetry.metrics)
+        return merged
 
     def run_one(
         self,
         run_index: int,
         strategy_factories: dict[str, Callable[[int], RecoveryStrategy]],
     ) -> RunResult:
-        """One (placement, failure, solve-with-every-strategy) run."""
+        """One (placement, failure, solve-with-every-strategy) run.
+
+        With telemetry enabled the run gets its own tracer and a fresh
+        :class:`MetricsRegistry` installed as the current registry for
+        its duration — runs are then self-contained telemetry units
+        that aggregate identically regardless of which process (or how
+        many workers) executed them.
+        """
         seed = self.base_seed + run_index
-        state = build_state(self.config, seed, num_stripes=self.num_stripes)
-        injector = FailureInjector(rng=seed)
-        event = injector.fail_random_node(state)
-        solutions: dict[str, MultiStripeSolution] = {}
-        strategies: dict[str, RecoveryStrategy] = {}
-        for name, factory in strategy_factories.items():
-            strategy = factory(seed)
-            solutions[name] = strategy.solve(state)
-            strategies[name] = strategy
+        if self.telemetry is None:
+            return self._solve_run(run_index, seed, strategy_factories)
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with telemetry_scope(registry):
+            result = self._solve_run(
+                run_index, seed, strategy_factories, tracer
+            )
+        telemetry = RunTelemetry(
+            events=tuple(tracer.events),
+            metrics=registry.snapshot(include_caches=False),
+        )
+        return RunResult(
+            run_index=result.run_index,
+            state=result.state,
+            event=result.event,
+            solutions=result.solutions,
+            strategies=result.strategies,
+            telemetry=telemetry,
+        )
+
+    def _solve_run(
+        self,
+        run_index: int,
+        seed: int,
+        strategy_factories: dict[str, Callable[[int], RecoveryStrategy]],
+        tracer: Tracer | None = None,
+    ) -> RunResult:
+        span = (
+            tracer.span(
+                "run", run_index=run_index, config=self.config.name, seed=seed
+            )
+            if tracer is not None
+            else _NULL_CTX
+        )
+        with span:
+            state = build_state(
+                self.config, seed, num_stripes=self.num_stripes
+            )
+            injector = FailureInjector(rng=seed)
+            event = injector.fail_random_node(state)
+            solutions: dict[str, MultiStripeSolution] = {}
+            strategies: dict[str, RecoveryStrategy] = {}
+            for name, factory in strategy_factories.items():
+                strategy = factory(seed)
+                if tracer is not None:
+                    with tracer.span("solve", strategy=name,
+                                     run_index=run_index):
+                        solutions[name] = strategy.solve(state)
+                else:
+                    solutions[name] = strategy.solve(state)
+                strategies[name] = strategy
         return RunResult(
             run_index=run_index,
             state=state,

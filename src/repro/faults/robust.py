@@ -36,6 +36,7 @@ from repro.errors import NoValidSolutionError
 from repro.faults.backoff import BackoffPolicy
 from repro.faults.events import (
     ActionKind,
+    FaultEvent,
     FaultKind,
     FaultLog,
     InjectedCrashError,
@@ -44,6 +45,8 @@ from repro.faults.events import (
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.timeline import FaultTimeline
+from repro.obs import metrics as _metrics
+from repro.obs.tracer import NullTracer, Tracer
 from repro.recovery.balancer import GreedyLoadBalancer
 from repro.recovery.executor import ExecutionResult, PipelineStage, PlanExecutor
 from repro.recovery.planner import RecoveryPlan, plan_recovery
@@ -120,8 +123,9 @@ class RobustExecutor(PlanExecutor):
         backoff: BackoffPolicy | None = None,
         max_replans: int = 2,
         rebalance: bool = True,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
-        super().__init__(state)
+        super().__init__(state, tracer=tracer)
         self.injector = injector or FaultInjector()
         self.backoff = backoff or BackoffPolicy()
         self.max_replans = max_replans
@@ -129,6 +133,45 @@ class RobustExecutor(PlanExecutor):
         self._log: FaultLog | None = None
         self._backoff_total = 0.0
         self._stall_total = 0.0
+
+    def _record(self, entry: FaultEvent | RecoveryAction) -> None:
+        """Append to the FaultLog, mirroring into the trace/metrics.
+
+        The FaultLog stays the source of truth (its determinism contract
+        is unchanged); the tracer gets the same record as a structured
+        ``fault.<kind>`` / ``action.<action>`` event in the one JSONL
+        stream, and the registry counts faults and responses by kind.
+        """
+        assert self._log is not None
+        self._log.record(entry)
+        tracer = self.tracer
+        reg = _metrics.CURRENT
+        if isinstance(entry, FaultEvent):
+            if tracer.enabled:
+                tracer.event(
+                    f"fault.{entry.kind.value}",
+                    stage=entry.stage.value,
+                    stripe_id=entry.stripe_id,
+                    node=entry.node,
+                    rack=entry.rack,
+                    attempt=entry.attempt,
+                    stall_seconds=entry.stall_seconds,
+                )
+            if reg is not None:
+                reg.counter("faults.injected").inc(kind=entry.kind.value)
+        else:
+            if tracer.enabled:
+                attrs = {
+                    "wait_seconds": entry.wait_seconds,
+                    "detail": entry.detail,
+                }
+                if entry.stripe_id is not None:
+                    attrs["stripe_id"] = entry.stripe_id
+                if entry.node is not None:
+                    attrs["node"] = entry.node
+                tracer.event(f"action.{entry.action.value}", **attrs)
+            if reg is not None:
+                reg.counter("faults.actions").inc(action=entry.action.value)
 
     # -- fault-aware pipeline hook --------------------------------------
 
@@ -142,6 +185,14 @@ class RobustExecutor(PlanExecutor):
         chunk: int | None = None,
         is_partial: bool = False,
     ) -> None:
+        super()._checkpoint(
+            stage,
+            stripe_id=stripe_id,
+            node=node,
+            rack=rack,
+            chunk=chunk,
+            is_partial=is_partial,
+        )
         if self._log is None:  # not inside run(): behave like the base
             return
         attempt = 0
@@ -156,14 +207,14 @@ class RobustExecutor(PlanExecutor):
             )
             if event is None:
                 return
-            self._log.record(event)
+            self._record(event)
             if event.kind in (FaultKind.HELPER_CRASH, FaultKind.DELEGATE_CRASH):
                 raise InjectedCrashError(event)
             attempt += 1
             if attempt >= self.backoff.max_attempts:
                 # A disk that never stops stalling / a link that never
                 # stops dropping is dead for recovery purposes.
-                self._log.record(
+                self._record(
                     RecoveryAction(
                         action=ActionKind.ESCALATE,
                         stripe_id=stripe_id,
@@ -177,7 +228,7 @@ class RobustExecutor(PlanExecutor):
                 raise InjectedCrashError(event)
             if event.kind is FaultKind.DISK_STALL:
                 self._stall_total += event.stall_seconds
-                self._log.record(
+                self._record(
                     RecoveryAction(
                         action=ActionKind.WAIT,
                         stripe_id=stripe_id,
@@ -189,7 +240,7 @@ class RobustExecutor(PlanExecutor):
             else:  # FLOW_DROP
                 delay = self.backoff.delay(attempt)
                 self._backoff_total += delay
-                self._log.record(
+                self._record(
                     RecoveryAction(
                         action=ActionKind.RETRY,
                         stripe_id=stripe_id,
@@ -254,7 +305,7 @@ class RobustExecutor(PlanExecutor):
         while pending:
             rounds += 1
             if rounds > max_rounds:
-                log.record(
+                self._record(
                     RecoveryAction(
                         action=ActionKind.ABORT,
                         detail="round budget exhausted",
@@ -279,7 +330,7 @@ class RobustExecutor(PlanExecutor):
             if crash is None:
                 break
             if crash.node == event.replacement_node:
-                log.record(
+                self._record(
                     RecoveryAction(
                         action=ActionKind.ABORT,
                         stripe_id=crash.event.stripe_id,
@@ -292,7 +343,7 @@ class RobustExecutor(PlanExecutor):
             try:
                 if not mode_direct and replans < self.max_replans:
                     replans += 1
-                    log.record(
+                    self._record(
                         RecoveryAction(
                             action=ActionKind.REPLAN,
                             stripe_id=crash.event.stripe_id,
@@ -308,7 +359,7 @@ class RobustExecutor(PlanExecutor):
                     if not mode_direct:
                         mode_direct = True
                         degraded = True
-                        log.record(
+                        self._record(
                             RecoveryAction(
                                 action=ActionKind.DEGRADE,
                                 node=crash.node,
@@ -319,7 +370,7 @@ class RobustExecutor(PlanExecutor):
                             )
                         )
                     else:
-                        log.record(
+                        self._record(
                             RecoveryAction(
                                 action=ActionKind.REPLAN,
                                 stripe_id=crash.event.stripe_id,
@@ -335,7 +386,7 @@ class RobustExecutor(PlanExecutor):
                     self.state, event, current_sol, dead_nodes=frozenset(dead)
                 )
             except NoValidSolutionError as exc:
-                log.record(
+                self._record(
                     RecoveryAction(action=ActionKind.ABORT, detail=str(exc))
                 )
                 raise RecoveryAbort(f"data loss: {exc}", log, dead) from exc

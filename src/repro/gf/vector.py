@@ -35,6 +35,7 @@ import numpy as np
 from repro.cache import BoundedCache
 from repro.errors import FieldError
 from repro.gf.field import GaloisField
+from repro.obs import metrics as _metrics
 
 __all__ = [
     "buffer_dtype",
@@ -49,11 +50,24 @@ __all__ = [
 ]
 
 #: Per-(w, c) product tables for w <= 8: 256 entries, 256 B each.
-_MUL_TABLE_CACHE = BoundedCache(maxsize=1024)
+_MUL_TABLE_CACHE = BoundedCache(maxsize=1024, name="gf.mul_table")
 #: Per-(w, c) split-nibble table pairs for w == 16: 2 x 256 uint16 = 1 KiB each.
-_NIBBLE_TABLE_CACHE = BoundedCache(maxsize=1024)
+_NIBBLE_TABLE_CACHE = BoundedCache(maxsize=1024, name="gf.nibble_table")
 #: Per-(w, c1, c2) fused pair tables for w <= 8: 64 KiB each, so <= 4 MiB total.
-_PAIR_TABLE_CACHE = BoundedCache(maxsize=64)
+_PAIR_TABLE_CACHE = BoundedCache(maxsize=64, name="gf.pair_table")
+
+
+def _count_kernel(kernel: str, nbytes: int) -> None:
+    """Record one kernel dispatch when a telemetry scope is active.
+
+    The disabled path is the caller's ``_metrics.CURRENT is None``
+    check — one module-attribute load, bounded <5% on the kernel bench.
+    """
+    reg = _metrics.CURRENT
+    if reg is None:  # pragma: no cover - callers already check
+        return
+    reg.counter("gf.kernel.dispatches").inc(kernel=kernel)
+    reg.counter("gf.kernel.bytes").inc(nbytes, kernel=kernel)
 
 _LITTLE_ENDIAN = bool(np.little_endian)
 
@@ -180,6 +194,8 @@ def xor_into(dst: np.ndarray, src: np.ndarray) -> None:
 def mul_scalar(field: GaloisField, c: int, buf: np.ndarray) -> np.ndarray:
     """Return a new buffer equal to ``c * buf`` element-wise."""
     field.check(c)
+    if _metrics.CURRENT is not None:
+        _count_kernel("mul_scalar", buf.size * buf.itemsize)
     if c == 0:
         return np.zeros_like(buf)
     if c == 1:
@@ -195,6 +211,8 @@ def mul_scalar(field: GaloisField, c: int, buf: np.ndarray) -> np.ndarray:
 def scale_inplace(field: GaloisField, c: int, buf: np.ndarray) -> None:
     """``buf *= c`` element-wise, in place."""
     field.check(c)
+    if _metrics.CURRENT is not None:
+        _count_kernel("scale_inplace", buf.size * buf.itemsize)
     if c == 1:
         return
     if c == 0:
@@ -214,6 +232,8 @@ def scale_inplace(field: GaloisField, c: int, buf: np.ndarray) -> None:
 def axpy(field: GaloisField, c: int, x: np.ndarray, y: np.ndarray) -> None:
     """``y ^= c * x`` — the fused multiply-accumulate of GF coding loops."""
     field.check(c)
+    if _metrics.CURRENT is not None:
+        _count_kernel("axpy", x.size * x.itemsize)
     if c == 0:
         return
     if c == 1:
@@ -387,6 +407,9 @@ def batch_dot(
         _batch_dot_u8(field, rows, bufs, out)
     else:
         _batch_dot_u16(field, rows, bufs, out)
+    if _metrics.CURRENT is not None:
+        kernel = "batch_dot_u8" if field.w <= 8 else "batch_dot_u16"
+        _count_kernel(kernel, n * size * out.itemsize)
     return out
 
 

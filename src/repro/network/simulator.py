@@ -86,6 +86,10 @@ class SimResult:
 
     Attributes:
         finish_times: task id -> completion time (seconds).
+        start_times: task id -> time it began transmitting/executing
+            (flows: first admitted; serial tasks: service start) — with
+            ``finish_times`` this gives the real sim-time interval of
+            every task, which the telemetry layer turns into spans.
         makespan: time the last task finished.
         busy_time_by_tag: tag -> summed service time of serial tasks and
             summed active duration of flows carrying that tag.
@@ -93,6 +97,7 @@ class SimResult:
     """
 
     finish_times: dict[str, float] = field(default_factory=dict)
+    start_times: dict[str, float] = field(default_factory=dict)
     makespan: float = 0.0
     busy_time_by_tag: dict[str, float] = field(default_factory=dict)
     link_bytes: dict[int, float] = field(default_factory=dict)
@@ -173,6 +178,7 @@ class FluidNetworkSimulator:
         def start_serial(task_id: str) -> None:
             task = by_id[task_id]
             assert task.resource is not None
+            result.start_times[task_id] = now
             finish_at = now + task.duration
             resource_running[task.resource] = (task_id, finish_at)
             heapq.heappush(
@@ -184,6 +190,7 @@ class FluidNetworkSimulator:
             if task.is_flow:
                 active_flows[task_id] = task.size_bytes
                 flow_started_at[task_id] = now
+                result.start_times[task_id] = now
             else:
                 res = task.resource
                 assert res is not None

@@ -1,0 +1,61 @@
+"""Unified telemetry: span tracing, metrics, and profiling hooks.
+
+The observability layer correlates the repo's previously disjoint
+signal sources — traffic reports, fault logs, cache counters — per
+stripe, per rack, and per run:
+
+- :mod:`repro.obs.tracer` — zero-dependency span tracer (parent/child
+  nesting, injected clock, structured JSONL events);
+- :mod:`repro.obs.metrics` — Counter/Gauge/Histogram registry with
+  labels, deterministic ``merge()`` for the parallel experiment
+  driver, and named-cache registration;
+- :mod:`repro.obs.report` — plain-text rendering behind the
+  ``repro-car trace`` / ``repro-car metrics`` subcommands.
+
+Everything is no-op-cheap when disabled: instrumented paths default to
+:data:`~repro.obs.tracer.NULL_TRACER` and check the current-registry
+slot (one global load) before recording.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    cache_stats,
+    current_registry,
+    default_registry,
+    register_cache,
+    telemetry_scope,
+)
+from repro.obs.report import render_metrics, render_trace
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    read_jsonl,
+    validate_events,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "read_jsonl",
+    "validate_events",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "COUNT_BUCKETS",
+    "current_registry",
+    "default_registry",
+    "telemetry_scope",
+    "register_cache",
+    "cache_stats",
+    "render_trace",
+    "render_metrics",
+]

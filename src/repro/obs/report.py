@@ -1,0 +1,187 @@
+"""Plain-text rendering of traces and metrics snapshots.
+
+Backs the ``repro-car trace <trace.jsonl>`` and ``repro-car metrics
+<metrics.json>`` subcommands: compact per-stage / per-rack summaries of
+a recorded recovery, and a table view of a metrics snapshot including
+named-cache effectiveness.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from collections import defaultdict
+
+__all__ = ["render_trace", "render_metrics"]
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def _seconds(value: float) -> str:
+    return f"{value:.6f}" if value < 10 else f"{value:.3f}"
+
+
+def render_trace(events: list[dict]) -> str:
+    """Summarise a JSONL trace: spans, stages, racks, faults, sim time."""
+    spans = [e for e in events if e.get("type") == "span"]
+    points = [e for e in events if e.get("type") == "event"]
+    stripes = {
+        e["attrs"]["stripe_id"]
+        for e in events
+        if isinstance(e.get("attrs"), dict) and "stripe_id" in e["attrs"]
+    }
+    parts = [
+        f"Trace: {len(events)} records ({len(spans)} spans, "
+        f"{len(points)} events), {len(stripes)} stripes"
+    ]
+
+    if spans:
+        by_name: dict[str, list[float]] = defaultdict(list)
+        for s in spans:
+            by_name[s["name"]].append(s["end"] - s["start"])
+        rows = [
+            [
+                name,
+                str(len(durs)),
+                _seconds(sum(durs)),
+                _seconds(sum(durs) / len(durs)),
+                _seconds(max(durs)),
+            ]
+            for name, durs in sorted(by_name.items())
+        ]
+        parts.append(
+            "Spans\n"
+            + _table(["name", "count", "total_s", "mean_s", "max_s"], rows)
+        )
+
+    stage_events = [p for p in points if p["name"] == "exec.stage"]
+    if stage_events:
+        by_stage: dict[str, TallyCounter] = defaultdict(TallyCounter)
+        for p in stage_events:
+            by_stage[p["attrs"].get("stage", "?")][p["attrs"].get("rack")] += 1
+        rows = [
+            [
+                stage,
+                str(sum(racks.values())),
+                ",".join(str(r) for r in sorted(racks, key=str)),
+            ]
+            for stage, racks in sorted(by_stage.items())
+        ]
+        parts.append(
+            "Pipeline stages (exec.stage)\n"
+            + _table(["stage", "count", "racks"], rows)
+        )
+        by_rack: TallyCounter = TallyCounter()
+        for p in stage_events:
+            by_rack[p["attrs"].get("rack")] += 1
+        rows = [
+            [str(rack), str(count)]
+            for rack, count in sorted(by_rack.items(), key=lambda kv: str(kv[0]))
+        ]
+        parts.append(
+            "Per-rack stage checkpoints\n" + _table(["rack", "events"], rows)
+        )
+
+    notable = [
+        p
+        for p in points
+        if p["name"].startswith(("fault.", "action.", "exec.degrade"))
+    ]
+    if notable:
+        tally: TallyCounter = TallyCounter(p["name"] for p in notable)
+        rows = [[name, str(n)] for name, n in sorted(tally.items())]
+        parts.append("Faults & responses\n" + _table(["event", "count"], rows))
+
+    sim_spans = [s for s in spans if s["name"] == "sim.stripe"]
+    if sim_spans:
+        keys = ("read_s", "transfer_s", "aggregate_s", "decode_s", "fault_s")
+        totals = {k: sum(s["attrs"].get(k, 0.0) for s in sim_spans) for k in keys}
+        rows = [[k.removesuffix("_s"), _seconds(v)] for k, v in totals.items()]
+        parts.append(
+            f"Simulated time breakdown ({len(sim_spans)} stripes)\n"
+            + _table(["stage", "busy_s"], rows)
+        )
+
+    return "\n\n".join(parts)
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def render_metrics(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as text tables."""
+    metrics = snapshot.get("metrics", {})
+    parts = []
+    for kind, title in (
+        ("counter", "Counters"),
+        ("gauge", "Gauges"),
+    ):
+        rows = []
+        for name, entry in sorted(metrics.items()):
+            if entry["kind"] != kind:
+                continue
+            for series in entry["series"]:
+                rows.append(
+                    [name, _fmt_labels(series["labels"]), f"{series['value']:g}"]
+                )
+        if rows:
+            parts.append(f"{title}\n" + _table(["name", "labels", "value"], rows))
+
+    rows = []
+    for name, entry in sorted(metrics.items()):
+        if entry["kind"] != "histogram":
+            continue
+        for series in entry["series"]:
+            count = series["count"]
+            mean = series["sum"] / count if count else 0.0
+            rows.append(
+                [
+                    name,
+                    _fmt_labels(series["labels"]),
+                    str(count),
+                    f"{mean:.4g}",
+                    f"{series['sum']:.4g}",
+                ]
+            )
+    if rows:
+        parts.append(
+            "Histograms\n"
+            + _table(["name", "labels", "count", "mean", "sum"], rows)
+        )
+
+    caches = snapshot.get("caches", {})
+    if caches:
+        rows = [
+            [
+                name,
+                str(s["instances"]),
+                str(s["hits"]),
+                str(s["misses"]),
+                f"{s.get('hit_rate', 0.0):.1%}",
+                f"{s['entries']}/{s['max_entries']}",
+                str(s["evictions"]),
+            ]
+            for name, s in sorted(caches.items())
+        ]
+        parts.append(
+            "Caches\n"
+            + _table(
+                ["name", "inst", "hits", "misses", "hit_rate", "entries",
+                 "evictions"],
+                rows,
+            )
+        )
+
+    return "\n\n".join(parts) if parts else "No metrics recorded."

@@ -32,6 +32,8 @@ from repro.erasure.repair import (
     split_repair_vector,
 )
 from repro.errors import PlanError
+from repro.obs import metrics as _metrics
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.recovery.planner import RecoveryPlan, StripePlan
 from repro.recovery.solution import MultiStripeSolution, PerStripeSolution
 
@@ -102,10 +104,15 @@ class ExecutionResult:
 class PlanExecutor:
     """Runs a :class:`RecoveryPlan` against a cluster's stored bytes."""
 
-    def __init__(self, state: ClusterState) -> None:
+    def __init__(
+        self,
+        state: ClusterState,
+        tracer: Tracer | NullTracer | None = None,
+    ) -> None:
         if state.data is None:
             raise PlanError("executing a plan requires a DataStore")
         self.state = state
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def execute(
         self, plan: RecoveryPlan, solution: MultiStripeSolution
@@ -137,6 +144,24 @@ class PlanExecutor:
         traffic consumed so far (the robust executor uses this to
         account wasted bytes of failed attempts).
         """
+        with self.tracer.span(
+            "exec.stripe",
+            stripe_id=sol.stripe_id,
+            aggregated=plan.aggregated,
+        ):
+            self._execute_stripe(plan, sp, sol, result)
+        reg = _metrics.CURRENT
+        if reg is not None:
+            mode = "aggregated" if plan.aggregated else "direct"
+            reg.counter("exec.stripes").inc(mode=mode)
+
+    def _execute_stripe(
+        self,
+        plan: RecoveryPlan,
+        sp: StripePlan,
+        sol: PerStripeSolution,
+        result: ExecutionResult,
+    ) -> None:
         chunk_bytes = self.state.data.chunk_size
         # Disk reads: every helper chunk leaves a disk exactly once.
         for c in sol.helpers:
@@ -196,7 +221,25 @@ class PlanExecutor:
         chunk: int | None = None,
         is_partial: bool = False,
     ) -> None:
-        """Stage hook; overridden by the fault-injection executor."""
+        """Stage hook; the fault-injection executor extends this.
+
+        The base emits one ``exec.stage`` trace event (and a per-stage
+        counter) per checkpoint when telemetry is enabled; it is a
+        strict no-op otherwise.
+        """
+        if self.tracer.enabled:
+            self.tracer.event(
+                "exec.stage",
+                stage=stage.value,
+                stripe_id=stripe_id,
+                node=node,
+                rack=rack,
+                chunk=chunk,
+                is_partial=is_partial,
+            )
+        reg = _metrics.CURRENT
+        if reg is not None:
+            reg.counter("exec.stage.checkpoints").inc(stage=stage.value)
 
     def _charge(self, result: ExecutionResult, node: int, nbytes: int) -> None:
         result.bytes_computed_by_node[node] = (

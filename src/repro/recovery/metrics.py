@@ -57,7 +57,9 @@ class TrafficReport:
         return max(self.per_rack_chunks)
 
     def per_stripe_chunks(self) -> float:
-        """Average cross-rack chunks shipped per repaired stripe."""
+        """Average cross-rack chunks shipped per stripe (0 if none)."""
+        if not self.num_stripes:
+            return 0.0
         return self.total_chunks / self.num_stripes
 
 

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.state import ClusterState, FailureEvent
 from repro.errors import PlanError
+from repro.obs import metrics as _metrics
 from repro.recovery.solution import MultiStripeSolution, PerStripeSolution
 
 __all__ = ["Transfer", "ComputeTask", "StripePlan", "RecoveryPlan", "plan_recovery"]
@@ -177,11 +178,25 @@ def plan_recovery(
             plans.append(_plan_stripe_aggregated(state, event, sol, dead))
         else:
             plans.append(_plan_stripe_direct(state, event, sol, dead))
-    return RecoveryPlan(
+    result = RecoveryPlan(
         stripe_plans=tuple(plans),
         replacement_node=event.replacement_node,
         aggregated=solution.aggregated,
     )
+    reg = _metrics.CURRENT
+    if reg is not None:
+        mode = "aggregated" if solution.aggregated else "direct"
+        reg.counter("plan.stripes").inc(len(plans), mode=mode)
+        racks = reg.histogram(
+            "plan.racks_accessed", buckets=_metrics.COUNT_BUCKETS
+        )
+        for sol in solution.solutions:
+            racks.observe(len(sol.chunks_by_rack))
+        transfers = reg.counter("plan.transfers")
+        for sp in plans:
+            for t in sp.transfers:
+                transfers.inc(scope="cross" if t.cross_rack else "intra")
+    return result
 
 
 def _holder(

@@ -25,6 +25,7 @@ from collections.abc import Iterable, Iterator, Sequence
 from repro.errors import NoValidSolutionError, RecoveryError
 from repro.cluster.state import StripeView
 from repro.cluster.topology import ClusterTopology
+from repro.obs import metrics as _metrics
 from repro.recovery.solution import PerStripeSolution
 
 __all__ = [
@@ -182,6 +183,12 @@ class CarSelector:
         per-stripe minimum ``d_j``.
         """
         d = min_racks_needed(view, self.k)
+        reg = _metrics.CURRENT
+        if reg is not None:
+            reg.counter("selector.solutions").inc()
+            reg.histogram(
+                "selector.racks_accessed", buckets=_metrics.COUNT_BUCKETS
+            ).observe(d)
         intact = _intact_counts(view)
         if traffic_hint is None:
             intact.sort(key=lambda rc: (-rc[1], rc[0]))

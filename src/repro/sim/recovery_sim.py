@@ -27,6 +27,7 @@ as ``fault_time``.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -35,6 +36,8 @@ from repro.errors import PlanError
 from repro.network.flow import SimTask, flow_task, serial_task
 from repro.network.links import FabricModel
 from repro.network.simulator import FluidNetworkSimulator, SimResult
+from repro.obs import metrics as _metrics
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.recovery.planner import RecoveryPlan, StripePlan
 from repro.sim.hardware import HardwareModel
 
@@ -76,7 +79,13 @@ class RecoveryTiming:
 
     @property
     def time_per_chunk(self) -> float:
-        """Recovery time per lost chunk (Figure 9's y-axis)."""
+        """Recovery time per lost chunk (Figure 9's y-axis).
+
+        Zero when nothing was recovered — a zero-stripe plan must not
+        blow up reporting code with a division by zero.
+        """
+        if not self.num_chunks:
+            return 0.0
         return self.total_time / self.num_chunks
 
     @property
@@ -322,11 +331,13 @@ class RecoverySimulator:
         state: ClusterState,
         hardware: HardwareModel | None = None,
         include_disk: bool = True,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         self.state = state
         self.fabric = FabricModel(state.topology)
         self.hardware = hardware or HardwareModel(state.topology)
         self.include_disk = include_disk
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def simulate(
         self,
@@ -349,7 +360,86 @@ class RecoverySimulator:
         num_retries = sum(1 for t in tasks if t.tag == "xfer:retry")
         sim = FluidNetworkSimulator(self.fabric)
         result = sim.run(tasks)
-        return self._summarise(result, plan, num_retries)
+        if self.tracer.enabled:
+            self._emit_stripe_spans(tasks, result)
+        timing = self._summarise(result, plan, num_retries)
+        reg = _metrics.CURRENT
+        if reg is not None:
+            reg.counter("sim.runs").inc()
+            reg.counter("sim.stripes").inc(len(plan.stripe_plans))
+            reg.counter("sim.retries").inc(num_retries)
+            reg.gauge("sim.makespan_seconds").set(result.makespan)
+            reg.histogram("sim.time_per_chunk_seconds").observe(
+                timing.time_per_chunk
+            )
+        return timing
+
+    #: Task-tag prefix -> sim-time family reported per stripe.  Order
+    #: matters: the first matching prefix wins (``xfer:retry`` is fault
+    #: time, not transfer time; the final combine is decode, the partial
+    #: decodes and local folds are aggregation).
+    _TAG_FAMILIES: tuple[tuple[str, str], ...] = (
+        ("disk", "read"),
+        ("xfer:retry", "fault"),
+        ("fault", "fault"),
+        ("xfer", "transfer"),
+        ("compute:final", "decode"),
+        ("compute", "aggregate"),
+    )
+
+    def _emit_stripe_spans(
+        self, tasks: Sequence[SimTask], result: SimResult
+    ) -> None:
+        """One ``sim.stripe`` span per stripe, in simulated seconds.
+
+        The span interval is the stripe's first task start to its last
+        task finish; attributes break its busy time into the read /
+        transfer / aggregate / decode / fault families Figure 10 uses.
+        """
+        per_stripe: dict[int, dict] = {}
+        for task in tasks:
+            tid = task.task_id
+            if not tid.startswith("s") or ":" not in tid:
+                continue  # pragma: no cover - all builder ids match
+            head = tid.split(":", 1)[0]
+            try:
+                stripe = int(head[1:])
+            except ValueError:  # pragma: no cover - defensive
+                continue
+            start = result.start_times.get(tid)
+            end = result.finish_times.get(tid)
+            if start is None or end is None:
+                continue  # pragma: no cover - every task completes
+            acc = per_stripe.setdefault(
+                stripe,
+                {
+                    "start": start, "end": end, "tasks": 0,
+                    "read_s": 0.0, "transfer_s": 0.0, "aggregate_s": 0.0,
+                    "decode_s": 0.0, "fault_s": 0.0,
+                },
+            )
+            acc["start"] = min(acc["start"], start)
+            acc["end"] = max(acc["end"], end)
+            acc["tasks"] += 1
+            tag = task.tag or ""
+            for prefix, family in self._TAG_FAMILIES:
+                if tag.startswith(prefix):
+                    acc[f"{family}_s"] += end - start
+                    break
+        for stripe in sorted(per_stripe):
+            acc = per_stripe[stripe]
+            self.tracer.emit_span(
+                "sim.stripe",
+                acc["start"],
+                acc["end"],
+                stripe_id=stripe,
+                tasks=acc["tasks"],
+                read_s=acc["read_s"],
+                transfer_s=acc["transfer_s"],
+                aggregate_s=acc["aggregate_s"],
+                decode_s=acc["decode_s"],
+                fault_s=acc["fault_s"],
+            )
 
     def _summarise(
         self, result: SimResult, plan: RecoveryPlan, num_retries: int = 0

@@ -83,13 +83,22 @@ class SerialRecoveryTiming:
 
     @property
     def time_per_chunk(self) -> float:
-        """Average repair time per lost chunk."""
+        """Average repair time per lost chunk (0 with no stripes)."""
+        if not self.stripes:
+            return 0.0
         return self.total_time / len(self.stripes)
 
     @property
     def computation_ratio(self) -> float:
-        """Computation share of the total (Figure 10(a))."""
-        return self.computation_time / self.total_time if self.stripes else 0.0
+        """Computation share of the total (Figure 10(a)).
+
+        Guarded against zero-duration runs: an all-zero timing (e.g. a
+        degenerate zero-byte chunk size) reports ratio 0 instead of
+        dividing by zero.
+        """
+        if not self.total_time:
+            return 0.0
+        return self.computation_time / self.total_time
 
     @property
     def transmission_ratio(self) -> float:

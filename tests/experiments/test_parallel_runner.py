@@ -62,6 +62,50 @@ class TestParallelIdentity:
             assert trace.lambdas
 
 
+class TestTelemetryAggregation:
+    """Merged metrics must not depend on how runs were distributed."""
+
+    def _merged_snapshot(self, tmp_path, workers, tag):
+        runner = ExperimentRunner(
+            CFS1, runs=4, num_stripes=12, telemetry=tmp_path / tag
+        )
+        results = runner.run_all(FACTORIES, workers=workers)
+        return runner.merged_metrics(results).snapshot()
+
+    def test_metric_aggregate_identical_for_any_worker_count(self, tmp_path):
+        serial = self._merged_snapshot(tmp_path, None, "serial")
+        two = self._merged_snapshot(tmp_path, 2, "w2")
+        three = self._merged_snapshot(tmp_path, 3, "w3")
+        assert serial["metrics"]
+        assert serial == two == three
+
+    def test_written_metrics_match_in_memory_merge(self, tmp_path):
+        import json
+
+        runner = ExperimentRunner(
+            CFS1, runs=2, num_stripes=12, telemetry=tmp_path / "out"
+        )
+        results = runner.run_all(FACTORIES, workers=2)
+        written = json.loads((tmp_path / "out" / "metrics.json").read_text())
+        merged = runner.merged_metrics(results).snapshot(include_caches=True)
+        assert written == json.loads(json.dumps(merged))
+
+    def test_trace_records_annotated_with_run_index(self, tmp_path):
+        from repro.obs import read_jsonl, validate_events
+
+        runner = ExperimentRunner(
+            CFS1, runs=3, num_stripes=12, telemetry=tmp_path / "out"
+        )
+        runner.run_all(FACTORIES, workers=2)
+        events = read_jsonl(tmp_path / "out" / "trace.jsonl")
+        assert validate_events(events) == len(events) > 0
+        assert {e["run"] for e in events} == {0, 1, 2}
+
+    def test_no_telemetry_attribute_without_directory(self):
+        results = _runner(runs=1).run_all(FACTORIES)
+        assert results[0].telemetry is None
+
+
 class TestParallelValidation:
     def test_rejects_nonpositive_workers(self):
         with pytest.raises(ConfigurationError):

@@ -94,3 +94,37 @@ class TestCliExtensions:
         out = capsys.readouterr().out
         assert "CAR-history" in out
         assert "long-run lambda" in out
+
+
+class TestTelemetryCli:
+    def test_fig7_telemetry_then_trace_and_metrics(self, capsys, tmp_path):
+        out_dir = tmp_path / "telemetry"
+        assert main(
+            ["fig7", "--runs", "2", "--stripes", "8",
+             "--telemetry", str(out_dir)]
+        ) == 0
+        capsys.readouterr()
+        trace = out_dir / "CFS1" / "trace.jsonl"
+        metrics = out_dir / "CFS1" / "metrics.json"
+        assert trace.is_file() and metrics.is_file()
+
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace:" in out and "Spans" in out
+
+        assert main(["metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "Counters" in out
+
+    def test_trace_requires_path(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+    def test_metrics_requires_path(self):
+        with pytest.raises(SystemExit):
+            main(["metrics"])
+
+    def test_fig7_without_telemetry_writes_nothing(self, tmp_path, capsys):
+        assert main(["fig7", "--runs", "2", "--stripes", "8"]) == 0
+        capsys.readouterr()
+        assert not list(tmp_path.iterdir())

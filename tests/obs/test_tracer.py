@@ -1,0 +1,168 @@
+"""Span tracer: nesting, injected clocks, JSONL round-trip, validation."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, Tracer, read_jsonl, validate_events
+
+
+class FakeClock:
+    """Deterministic clock: each call advances by ``step``."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+def make_tracer():
+    return Tracer(clock=FakeClock())
+
+
+class TestSpans:
+    def test_span_records_interval(self):
+        t = make_tracer()
+        with t.span("work", job=7):
+            pass
+        (record,) = t.events
+        assert record["type"] == "span"
+        assert record["name"] == "work"
+        assert record["attrs"] == {"job": 7}
+        assert record["end"] > record["start"]
+
+    def test_parent_child_nesting(self):
+        t = make_tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        inner, outer = t.events
+        assert inner["name"] == "inner"
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+
+    def test_siblings_share_parent(self):
+        t = make_tracer()
+        with t.span("outer"):
+            with t.span("a"):
+                pass
+            with t.span("b"):
+                pass
+        a, b, outer = t.events
+        assert a["parent_id"] == b["parent_id"] == outer["span_id"]
+        assert a["span_id"] != b["span_id"]
+
+    def test_exception_recorded_and_propagated(self):
+        t = make_tracer()
+        with pytest.raises(ValueError):
+            with t.span("boom"):
+                raise ValueError("nope")
+        (record,) = t.events
+        assert record["attrs"]["error"] == "ValueError: nope"
+
+    def test_set_updates_open_span(self):
+        t = make_tracer()
+        with t.span("work") as span:
+            span.set(result=42)
+        assert t.events[0]["attrs"]["result"] == 42
+
+
+class TestEvents:
+    def test_event_attaches_to_open_span(self):
+        t = make_tracer()
+        with t.span("outer"):
+            t.event("tick", n=1)
+        tick, outer = t.events
+        assert tick["type"] == "event"
+        assert tick["span_id"] == outer["span_id"]
+
+    def test_event_without_span_has_null_span_id(self):
+        t = make_tracer()
+        t.event("orphan")
+        assert t.events[0]["span_id"] is None
+
+
+class TestEmitSpan:
+    def test_explicit_timestamps_bypass_clock(self):
+        t = make_tracer()
+        sid = t.emit_span("sim.stripe", 2.5, 7.5, stripe_id=3)
+        (record,) = t.events
+        assert record["start"] == 2.5 and record["end"] == 7.5
+        assert record["span_id"] == sid
+        assert record["attrs"]["stripe_id"] == 3
+
+    def test_inherits_open_span_as_parent(self):
+        t = make_tracer()
+        with t.span("outer"):
+            t.emit_span("child", 0.0, 1.0)
+        child, outer = t.events
+        assert child["parent_id"] == outer["span_id"]
+
+
+class TestSinkAndJsonl:
+    def test_sink_receives_each_record(self):
+        seen = []
+        t = Tracer(clock=FakeClock(), sink=seen.append)
+        with t.span("a"):
+            t.event("e")
+        assert seen == t.events
+
+    def test_jsonl_round_trip(self, tmp_path):
+        t = make_tracer()
+        with t.span("outer", k=1):
+            t.event("tick")
+        path = t.write_jsonl(tmp_path / "trace.jsonl")
+        assert read_jsonl(path) == t.events
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("x", a=1) as s:
+            s.set(b=2)
+            NULL_TRACER.event("e")
+        assert NULL_TRACER.emit_span("y", 0, 1) == 0
+        assert NULL_TRACER.events == []
+
+
+class TestValidation:
+    def test_accepts_real_trace(self):
+        t = make_tracer()
+        with t.span("outer"):
+            t.event("tick")
+        t.emit_span("sim", 0.0, 1.0)
+        assert validate_events(t.events) == 3
+
+    @pytest.mark.parametrize(
+        "record, match",
+        [
+            ({"type": "bogus"}, "unknown record type"),
+            ({"type": "span", "name": "x"}, "missing key"),
+            (
+                {
+                    "type": "span", "name": "x", "span_id": 1,
+                    "parent_id": None, "start": 5.0, "end": 1.0, "attrs": {},
+                },
+                "before it starts",
+            ),
+            (
+                {
+                    "type": "event", "name": "", "span_id": None,
+                    "time": 0.0, "attrs": {},
+                },
+                "non-empty string",
+            ),
+            (
+                {
+                    "type": "event", "name": "x", "span_id": None,
+                    "time": 0.0, "attrs": "nope",
+                },
+                "attrs must be an object",
+            ),
+            ("not a dict", "not an object"),
+        ],
+    )
+    def test_rejects_malformed_records(self, record, match):
+        with pytest.raises(ValueError, match=match):
+            validate_events([record])

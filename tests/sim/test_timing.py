@@ -9,7 +9,11 @@ from repro.cluster.topology import BandwidthProfile, ClusterTopology
 from repro.erasure.rs import RSCode
 from repro.recovery.baselines import CarStrategy, RandomRecoveryStrategy
 from repro.recovery.planner import plan_recovery
-from repro.sim.timing import StripeSerialTimingModel
+from repro.sim.timing import (
+    SerialRecoveryTiming,
+    StripeSerialTimingModel,
+    StripeTiming,
+)
 
 MB = 1 << 20
 
@@ -92,3 +96,40 @@ class TestSerialModel:
         state, car_plan, _ = plans
         timing = StripeSerialTimingModel(state).evaluate(car_plan, MB)
         assert timing.computation_ratio + timing.transmission_ratio == pytest.approx(1.0)
+
+
+class TestZeroDurationGuards:
+    """Ratio/average properties must not divide by zero on empty runs."""
+
+    def test_serial_timing_empty_stripes(self):
+        timing = SerialRecoveryTiming(stripes=())
+        assert timing.time_per_chunk == 0.0
+        assert timing.computation_ratio == 0.0
+        assert timing.transmission_ratio == 1.0
+
+    def test_serial_timing_zero_duration(self):
+        timing = SerialRecoveryTiming(
+            stripes=(StripeTiming(stripe_id=0, transmission=0.0,
+                                  computation=0.0),)
+        )
+        assert timing.time_per_chunk == 0.0
+        assert timing.computation_ratio == 0.0
+
+    def test_recovery_timing_zero_chunks(self):
+        from repro.sim.recovery_sim import RecoveryTiming
+
+        timing = RecoveryTiming(
+            total_time=0.0, computation_time=0.0, transmission_time=0.0,
+            disk_time=0.0, num_chunks=0,
+        )
+        assert timing.time_per_chunk == 0.0
+        assert timing.computation_ratio == 0.0
+
+    def test_traffic_report_zero_stripes(self):
+        from repro.recovery.metrics import TrafficReport
+
+        report = TrafficReport(
+            strategy="CAR", chunk_size_bytes=1, per_rack_chunks=(),
+            failed_rack=0, lambda_rate=0.0, num_stripes=0,
+        )
+        assert report.per_stripe_chunks() == 0.0

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Validate a telemetry trace JSONL file against the event schema.
+
+Usage::
+
+    PYTHONPATH=src python tools/validate_trace.py out/CFS1/trace.jsonl
+
+Exits 0 and prints a one-line summary when every record is a
+well-formed span/event; exits 1 with the offending record otherwise.
+Used by the CI telemetry smoke job.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 1:
+        print("usage: validate_trace.py <trace.jsonl>", file=sys.stderr)
+        return 2
+    from repro.obs import read_jsonl, validate_events
+
+    path = Path(args[0])
+    events = read_jsonl(path)
+    try:
+        count = validate_events(events)
+    except ValueError as exc:
+        print(f"{path}: INVALID — {exc}", file=sys.stderr)
+        return 1
+    spans = sum(1 for e in events if e["type"] == "span")
+    print(f"{path}: OK — {count} records ({spans} spans, "
+          f"{count - spans} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
