@@ -1,0 +1,119 @@
+"""Durability overhead: journalling + integrity checksums vs the bare path.
+
+Three configurations of the same recovery execute end to end:
+
+- **off** — the default :class:`PlanExecutor` path (no checksums, no
+  journal): the integrity/journal hooks exist but must cost nothing;
+- **verify** — every transferred payload checksummed at creation and
+  re-verified on receipt;
+- **durable** — verification plus the write-ahead journal (intent,
+  stage, and payload-carrying commit records, flushed per append).
+
+The assertions bound the relative cost so a regression that makes the
+disabled path pay for durability (or makes durability pathologically
+expensive) fails the bench rather than silently landing.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cluster.failure import FailureInjector
+from repro.durable.journal import JournalReplay
+from repro.durable.session import RecoverySession
+from repro.experiments.configs import CFS2, build_state
+from repro.recovery import CarStrategy, PlanExecutor, plan_recovery
+
+STRIPES = 24
+CHUNK = 4096
+SEED = 13
+
+
+def build():
+    state = build_state(CFS2, seed=SEED, with_data=True,
+                        chunk_size=CHUNK, num_stripes=STRIPES)
+    event = FailureInjector(rng=SEED).fail_random_node(state)
+    solution = CarStrategy().solve(state)
+    plan = plan_recovery(state, event, solution)
+    return state, event, solution, plan
+
+
+def median_seconds(fn, rounds=5):
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return sorted(samples)[len(samples) // 2]
+
+
+def test_disabled_path_overhead_bounded(benchmark, tmp_path):
+    state, event, solution, plan = build()
+
+    def off():
+        return PlanExecutor(state).execute(plan, solution)
+
+    def verify():
+        return PlanExecutor(state, verify_integrity=True).execute(
+            plan, solution
+        )
+
+    result = benchmark.pedantic(off, rounds=5, iterations=1)
+    assert result.verified
+
+    t_off = median_seconds(off)
+    t_verify = median_seconds(verify)
+    print(f"\nbench_durable: off={t_off * 1e3:.2f}ms "
+          f"verify={t_verify * 1e3:.2f}ms "
+          f"(x{t_verify / t_off:.2f})")
+    # Checksumming every payload is real work, but bounded work; and
+    # the disabled path must not be paying for it (generous CI-noise
+    # margins on both bounds).
+    assert t_verify < 4.0 * t_off + 0.05
+    assert t_off < 2.0 * t_verify  # off is never *slower* than verify
+
+
+def test_journalled_session_overhead_bounded(benchmark, tmp_path):
+    state, event, solution, plan = build()
+
+    def off():
+        return PlanExecutor(state).execute(plan, solution)
+
+    runs = iter(range(10_000))
+
+    def durable():
+        path = tmp_path / f"bench-{next(runs)}.jsonl"
+        state2 = build_state(CFS2, seed=SEED, with_data=True,
+                             chunk_size=CHUNK, num_stripes=STRIPES)
+        event2 = FailureInjector(rng=SEED).fail_random_node(state2)
+        return RecoverySession(
+            state2, event2, CarStrategy(), path
+        ).run()
+
+    out = benchmark.pedantic(durable, rounds=3, iterations=1)
+    assert out.verified
+
+    t_off = median_seconds(off)
+    t_durable = median_seconds(durable, rounds=3)
+    print(f"\nbench_durable: off={t_off * 1e3:.2f}ms "
+          f"durable={t_durable * 1e3:.2f}ms "
+          f"(x{t_durable / t_off:.2f})")
+    # The durable path re-solves, checksums, and writes a flushed JSONL
+    # record per stage — still the same order of magnitude.
+    assert t_durable < 25.0 * t_off + 0.25
+
+
+def test_journal_size_is_bounded(tmp_path):
+    """Journal bytes scale with committed payloads, not pipeline chatter."""
+    state, event, solution, plan = build()
+    path = tmp_path / "size.jsonl"
+    out = RecoverySession(state, event, CarStrategy(), path).run()
+    assert out.verified
+    replay = JournalReplay.load(path)
+    stripes = len(replay.committed)
+    size = path.stat().st_size
+    # Base64 payload ~4/3 chunk per commit plus bounded per-record
+    # overhead: journal stays within ~2.5 kB + 2x chunk per stripe.
+    assert size < stripes * (2 * CHUNK + 2500)
+    print(f"\nbench_durable: journal {size} B for {stripes} stripes "
+          f"({size // stripes} B/stripe, chunk {CHUNK} B)")

@@ -19,7 +19,9 @@ contribution and every substrate it runs on:
   Table II/III configurations;
 - :mod:`repro.faults` — deterministic fault injection and the
   :class:`RobustExecutor` degradation ladder (aggregated →
-  re-planned → direct → typed abort).
+  re-planned → direct → typed abort);
+- :mod:`repro.durable` — write-ahead recovery journal, checksummed
+  in-flight payloads, and crash-resumable :class:`RecoverySession`.
 
 Quick start::
 
@@ -35,6 +37,11 @@ from repro.cluster import (
     FailureInjector,
     Placement,
     RandomPlacementPolicy,
+)
+from repro.durable import (
+    JournalReplay,
+    RecoveryJournal,
+    chunk_checksum,
 )
 from repro.erasure import RSCode
 from repro.faults import (
@@ -88,9 +95,21 @@ __all__ = [
     "RecoveryAbort",
     "RobustExecutor",
     "recover_with_faults",
+    "RecoveryJournal",
+    "JournalReplay",
+    "RecoverySession",
+    "chunk_checksum",
     "quick_recovery_demo",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    if name == "RecoverySession":
+        from repro.durable.session import RecoverySession
+
+        return RecoverySession
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def quick_recovery_demo(seed: int = 7) -> str:

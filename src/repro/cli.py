@@ -14,6 +14,13 @@ Telemetry::
     repro-car fig7 --runs 2 --telemetry out/   # persist trace + metrics
     repro-car trace out/CFS1/trace.jsonl       # per-stage/per-rack summary
     repro-car metrics out/CFS1/metrics.json    # counters/histograms/caches
+
+Durability::
+
+    repro-car scrub --config CFS2 --corrupt 3     # corrupt, detect, heal
+    repro-car durable out/journal.jsonl           # journalled recovery
+    repro-car durable out/journal.jsonl --crash-after 9   # ...then crash
+    repro-car resume out/journal.jsonl            # resume from the journal
 """
 
 from __future__ import annotations
@@ -21,6 +28,8 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+
+from repro.errors import CoordinatorCrashError
 
 from repro.experiments import (
     ALL_CFS,
@@ -60,10 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "fig7", "fig8", "fig9", "fig10", "ablation", "landscape",
             "longrun", "degraded", "all", "trace", "metrics",
+            "scrub", "durable", "resume",
         ],
         help=(
-            "which figure/experiment to regenerate, or a telemetry "
-            "reporting command (trace/metrics)"
+            "which figure/experiment to regenerate, a telemetry "
+            "reporting command (trace/metrics), or a durability "
+            "command (scrub/durable/resume)"
         ),
     )
     parser.add_argument(
@@ -71,8 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help=(
-            "artifact to render: a trace.jsonl for 'trace', a "
-            "metrics.json for 'metrics' (ignored by experiments)"
+            "artifact path: a trace.jsonl for 'trace', a metrics.json "
+            "for 'metrics', the write-ahead journal for "
+            "'durable'/'resume' (ignored by experiments)"
         ),
     )
     parser.add_argument(
@@ -113,6 +125,37 @@ def build_parser() -> argparse.ArgumentParser:
             "worker processes for the experiment runs (default: serial; "
             "results are identical for any worker count)"
         ),
+    )
+    parser.add_argument(
+        "--config",
+        choices=["CFS1", "CFS2", "CFS3"],
+        default="CFS1",
+        help="cluster configuration for 'scrub' and 'durable' (default CFS1)",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=["car", "direct"],
+        default="car",
+        help="recovery strategy for 'durable' runs (default car)",
+    )
+    parser.add_argument(
+        "--crash-after",
+        dest="crash_after",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "inject a coordinator crash after N journal records "
+            "('durable'/'resume'); the process exits with status 3 and "
+            "the journal is the resume point"
+        ),
+    )
+    parser.add_argument(
+        "--corrupt",
+        type=int,
+        metavar="N",
+        default=3,
+        help="chunks to silently corrupt before a 'scrub' pass (default 3)",
     )
     return parser
 
@@ -315,11 +358,114 @@ def _run_ablation(args: argparse.Namespace) -> str:
     return "\n\n".join(parts)
 
 
+def _cfs_config(name: str):
+    from repro.experiments import CFS2, CFS3
+
+    return {"CFS1": CFS1, "CFS2": CFS2, "CFS3": CFS3}[name]
+
+
+def _run_scrub(args: argparse.Namespace) -> str:
+    import random
+
+    from repro.cluster.scrub import Scrubber
+    from repro.experiments.configs import build_state
+    from repro.experiments.report import format_table
+    from repro.obs.metrics import MetricsRegistry, telemetry_scope
+
+    config = _cfs_config(args.config)
+    stripes = args.stripes if args.stripes is not None else 20
+    seed = args.seed if args.seed is not None else 11
+    state = build_state(config, seed=seed, with_data=True,
+                        num_stripes=stripes)
+    rng = random.Random(seed)
+    n_corrupt = max(0, min(args.corrupt, stripes))
+    targets = [
+        (stripe, rng.randrange(state.code.n))
+        for stripe in rng.sample(range(stripes), n_corrupt)
+    ]
+    for i, (stripe, chunk) in enumerate(targets):
+        state.data.corrupt(stripe, chunk, seed=seed + i)
+    registry = MetricsRegistry()
+    with telemetry_scope(registry):
+        report = Scrubber(state).scrub()
+    rows = [
+        [str(f.stripe_id),
+         "?" if f.chunk_index is None else str(f.chunk_index),
+         "repaired" if f.repaired else "unrepairable"]
+        for f in report.findings
+    ]
+    metrics = registry.snapshot()["metrics"]
+    lines = [
+        f"Scrub pass over {config.name} "
+        f"({stripes} stripes, {n_corrupt} chunks corrupted)",
+        f"  checked : {report.stripes_checked} stripes",
+        f"  clean   : {report.clean_stripes}",
+        f"  corrupt : {report.corrupt_stripes}"
+        f" (all repaired: {'yes' if report.all_repaired else 'NO'})",
+    ]
+    if rows:
+        lines.append(format_table(["stripe", "chunk", "outcome"], rows))
+    lines.append(
+        "metrics: " + ", ".join(
+            f"{name}={int(total)}"
+            for name, total in sorted(
+                (name, sum(s["value"] for s in metric["series"]))
+                for name, metric in metrics.items()
+                if name.startswith("scrub.")
+            )
+        )
+    )
+    return "\n".join(lines)
+
+
+def _render_durable(out, verb: str) -> str:
+    replayed = ", ".join(map(str, out.replayed)) or "-"
+    executed = ", ".join(map(str, out.executed)) or "-"
+    total = len(out.replayed) + len(out.executed)
+    return "\n".join([
+        f"Durable recovery ({verb}) — journal {out.journal_path}",
+        f"  stripes : {total} total"
+        f" = {len(out.replayed)} replayed + {len(out.executed)} executed",
+        f"  replayed: {replayed}",
+        f"  executed: {executed}",
+        f"  verified: {'yes' if out.verified else 'NO'}",
+        f"  traffic : cross-rack {out.cross_rack_bytes} B"
+        f" / intra-rack {out.intra_rack_bytes} B (logical session)",
+        f"  live    : cross-rack {out.live_cross_rack_bytes} B"
+        f" / intra-rack {out.live_intra_rack_bytes} B"
+        f" (this incarnation)",
+    ])
+
+
+def _run_durable(args: argparse.Namespace) -> str:
+    from repro.experiments.runner import run_durable_recovery
+
+    out = run_durable_recovery(
+        _cfs_config(args.config),
+        args.path,
+        strategy=args.strategy,
+        seed=args.seed if args.seed is not None else 0,
+        num_stripes=args.stripes if args.stripes is not None else 12,
+        crash_after_records=args.crash_after,
+    )
+    return _render_durable(out, "fresh run")
+
+
+def _run_resume(args: argparse.Namespace) -> str:
+    from repro.experiments.runner import resume_durable_recovery
+
+    out = resume_durable_recovery(
+        args.path, crash_after_records=args.crash_after
+    )
+    return _render_durable(out, "resumed")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.experiment in ("trace", "metrics") and args.path is None:
+    if (args.experiment in ("trace", "metrics", "durable", "resume")
+            and args.path is None):
         parser.error(f"'{args.experiment}' requires a file path argument")
     handlers = {
         "fig7": _run_fig7,
@@ -332,18 +478,29 @@ def main(argv: Sequence[str] | None = None) -> int:
         "degraded": _run_degraded,
         "trace": _run_trace,
         "metrics": _run_metrics,
+        "scrub": _run_scrub,
+        "durable": _run_durable,
+        "resume": _run_resume,
     }
-    if args.experiment == "all":
-        outputs = [
-            handlers[name](args)
-            for name in (
-                "fig7", "fig8", "fig9", "fig10", "ablation", "landscape",
-                "longrun", "degraded",
-            )
-        ]
-        print("\n\n".join(outputs))
-    else:
-        print(handlers[args.experiment](args))
+    try:
+        if args.experiment == "all":
+            outputs = [
+                handlers[name](args)
+                for name in (
+                    "fig7", "fig8", "fig9", "fig10", "ablation", "landscape",
+                    "longrun", "degraded",
+                )
+            ]
+            print("\n\n".join(outputs))
+        else:
+            print(handlers[args.experiment](args))
+    except CoordinatorCrashError as crash:
+        print(
+            f"coordinator crashed after {crash.records_written} journal "
+            f"records: {crash}"
+        )
+        print(f"resume with: repro-car resume {args.path}")
+        return 3
     return 0
 
 

@@ -28,6 +28,7 @@ import numpy as np
 from repro.cluster.state import ClusterState
 from repro.errors import ClusterError
 from repro.gf.vector import matrix_apply
+from repro.obs import metrics as _metrics
 
 __all__ = ["ScrubFinding", "ScrubReport", "Scrubber"]
 
@@ -153,7 +154,12 @@ class Scrubber:
         )
 
     def scrub(self) -> ScrubReport:
-        """One full pass over every stripe: verify, diagnose, heal."""
+        """One full pass over every stripe: verify, diagnose, heal.
+
+        When a metrics registry is installed the pass is counted into
+        ``scrub.stripes`` (by clean/corrupt outcome), ``scrub.findings``
+        (by repaired/unrepairable), and ``scrub.passes``.
+        """
         report = ScrubReport()
         for stripe in range(self.state.placement.num_stripes):
             report.stripes_checked += 1
@@ -161,4 +167,17 @@ class Scrubber:
                 report.clean_stripes += 1
                 continue
             report.findings.append(self.heal_stripe(stripe))
+        reg = _metrics.CURRENT
+        if reg is not None:
+            reg.counter("scrub.passes").inc()
+            reg.counter("scrub.stripes").inc(
+                report.clean_stripes, outcome="clean"
+            )
+            reg.counter("scrub.stripes").inc(
+                report.corrupt_stripes, outcome="corrupt"
+            )
+            for finding in report.findings:
+                reg.counter("scrub.findings").inc(
+                    outcome="repaired" if finding.repaired else "unrepairable"
+                )
         return report

@@ -1,0 +1,49 @@
+"""Durability layer: write-ahead journal, integrity, crash-resume.
+
+Public surface:
+
+- :mod:`repro.durable.checksum` — CRC32 chunk checksums and the
+  journal's verified payload encoding.
+- :mod:`repro.durable.journal` — :class:`RecoveryJournal` (the
+  write-ahead log), :func:`read_journal`, :class:`JournalReplay`, and
+  :func:`validate_journal_records`.
+- :mod:`repro.durable.session` — :class:`RecoverySession`, the driver
+  that runs a journalled recovery and resumes it after a coordinator
+  crash.
+
+``session`` is imported lazily: it pulls in the executor stack, which
+itself imports :mod:`repro.durable.checksum`, and an eager import here
+would close that cycle.
+"""
+
+from __future__ import annotations
+
+from repro.durable.checksum import chunk_checksum, decode_payload, encode_payload
+from repro.durable.journal import (
+    RECORD_TYPES,
+    JournalReplay,
+    RecoveryJournal,
+    read_journal,
+    validate_journal_records,
+)
+
+__all__ = [
+    "chunk_checksum",
+    "encode_payload",
+    "decode_payload",
+    "RecoveryJournal",
+    "JournalReplay",
+    "read_journal",
+    "validate_journal_records",
+    "RECORD_TYPES",
+    "RecoverySession",
+    "DurableRecoveryResult",
+]
+
+
+def __getattr__(name: str):
+    if name in ("RecoverySession", "DurableRecoveryResult"):
+        from repro.durable import session
+
+        return getattr(session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,404 @@
+"""Write-ahead recovery journal: JSONL intent/commit records + replay.
+
+A :class:`RecoveryJournal` is the durability contract of a recovery
+session.  The executor appends, in order:
+
+- one ``session`` header (how to rebuild the identical cluster state);
+- per stripe, an ``intent`` record *before* any work, ``stage`` records
+  as the pipeline progresses (chunk shipped, aggregate shipped, chunk
+  decoded), and a ``commit`` record *after* the rebuilt chunk is
+  durable — carrying the chunk's bytes, CRC32, and the traffic/compute
+  the stripe actually consumed;
+- a ``resume`` marker each time a later incarnation reopens the
+  journal, and one ``end`` record when every stripe committed.
+
+Every record gets a strictly increasing ``seq`` and is flushed on
+append, so a coordinator crash loses at most the record being written.
+:func:`read_journal` tolerates exactly that: a torn final line is
+dropped, anything else malformed is a :class:`JournalError`.
+
+:class:`JournalReplay` is the read side — which stripes committed (and
+their verified bytes), which are still pending, and how much cross-rack
+traffic the dead incarnation paid for stripes it never committed.
+
+Crash injection: constructing the journal with ``crash_after_records=n``
+raises :class:`~repro.errors.CoordinatorCrashError` immediately after
+the ``n``-th record this incarnation appends — the crash-at-every-point
+harness sweeps ``n`` over every record boundary.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.durable.checksum import decode_payload, encode_payload
+from repro.errors import CoordinatorCrashError, JournalError
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "RecoveryJournal",
+    "JournalReplay",
+    "read_journal",
+    "validate_journal_records",
+    "RECORD_TYPES",
+]
+
+#: Every record type a well-formed journal may contain.
+RECORD_TYPES = frozenset(
+    {"session", "intent", "stage", "commit", "resume", "end"}
+)
+
+
+class RecoveryJournal:
+    """Append-only JSONL journal for one (possibly resumed) recovery.
+
+    Args:
+        path: journal file.  Created (truncated) unless ``append``.
+        append: reopen an existing journal, continuing its ``seq``
+            numbering — the resume path.
+        crash_after_records: simulate a coordinator crash by raising
+            :class:`CoordinatorCrashError` right after this incarnation
+            appends its ``n``-th record (the record *is* durable; the
+            crash lands on the boundary before the next one).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        append: bool = False,
+        crash_after_records: int | None = None,
+    ) -> None:
+        if crash_after_records is not None and crash_after_records < 1:
+            raise JournalError("crash_after_records must be >= 1 (or None)")
+        self.path = Path(path)
+        self.crash_after = crash_after_records
+        self._append_mode = append
+        self._fh = None
+        self._seq = 0
+        self._appended = 0  # records appended by this incarnation
+        self._created = False  # truncate only on the very first open
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _open(self) -> None:
+        if self._fh is not None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._append_mode and not self._created:
+            records = read_journal(self.path)
+            if not records:
+                raise JournalError(
+                    f"cannot resume: {self.path} has no readable records"
+                )
+            self._seq = records[-1]["seq"]
+        mode = "a" if (self._append_mode or self._created) else "w"
+        self._created = True
+        self._fh = self.path.open(mode, encoding="utf-8")
+
+    def close(self) -> None:
+        """Flush and release the file handle (appends reopen lazily)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RecoveryJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def records_written(self) -> int:
+        """Records appended by this incarnation."""
+        return self._appended
+
+    def _append(self, record: dict) -> None:
+        self._open()
+        self._seq += 1
+        self._appended += 1
+        record = {"seq": self._seq, **record}
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        reg = _metrics.CURRENT
+        if reg is not None:
+            reg.counter("journal.records").inc(rec=record["rec"])
+        if self.crash_after is not None and self._appended >= self.crash_after:
+            self.close()
+            raise CoordinatorCrashError(
+                f"injected coordinator crash after journal record "
+                f"{self._seq}",
+                records_written=self._seq,
+            )
+
+    # -- record writers --------------------------------------------------
+
+    def begin_session(self, meta: dict) -> None:
+        """Write the session header (must be the journal's first record)."""
+        if self._seq or self._append_mode:
+            raise JournalError("session header must be the first record")
+        self._append({"rec": "session", **meta})
+
+    def stripe_intent(
+        self, stripe_id: int, *, aggregated: bool, lost_chunk: int
+    ) -> None:
+        """Declare a stripe's repair is starting (plan chosen)."""
+        self._append(
+            {
+                "rec": "intent",
+                "stripe_id": stripe_id,
+                "aggregated": aggregated,
+                "lost_chunk": lost_chunk,
+            }
+        )
+
+    def stage(
+        self,
+        stripe_id: int,
+        stage: str,
+        *,
+        node: int,
+        rack: int,
+        chunk: int | None = None,
+        is_partial: bool = False,
+    ) -> None:
+        """Record one pipeline-stage checkpoint reached."""
+        self._append(
+            {
+                "rec": "stage",
+                "stripe_id": stripe_id,
+                "stage": stage,
+                "node": node,
+                "rack": rack,
+                "chunk": chunk,
+                "is_partial": is_partial,
+            }
+        )
+
+    def stripe_commit(
+        self,
+        stripe_id: int,
+        chunk: np.ndarray,
+        *,
+        lost_chunk: int,
+        ok: bool,
+        cross_rack_bytes: int,
+        intra_rack_bytes: int,
+        bytes_computed_by_node: dict[int, int],
+    ) -> None:
+        """Commit one stripe: its rebuilt bytes and resource accounting."""
+        self._append(
+            {
+                "rec": "commit",
+                "stripe_id": stripe_id,
+                "lost_chunk": lost_chunk,
+                "ok": ok,
+                "cross_rack_bytes": cross_rack_bytes,
+                "intra_rack_bytes": intra_rack_bytes,
+                "bytes_computed_by_node": {
+                    str(n): b for n, b in sorted(bytes_computed_by_node.items())
+                },
+                **encode_payload(chunk),
+            }
+        )
+
+    def resume_marker(
+        self, *, replayed: list[int], pending: list[int]
+    ) -> None:
+        """Record that a new incarnation took over the session."""
+        self._append(
+            {
+                "rec": "resume",
+                "replayed": sorted(replayed),
+                "pending": sorted(pending),
+            }
+        )
+
+    def end_session(self, *, committed: int) -> None:
+        """Mark the session complete (every stripe committed)."""
+        self._append({"rec": "end", "committed": committed})
+        self.close()
+
+
+def read_journal(path: str | Path) -> list[dict]:
+    """Load a journal's records, dropping a torn final line.
+
+    A coordinator that dies mid-write leaves at most one partial last
+    line; that is recoverable and silently dropped.  A malformed line
+    anywhere *else* means the file is not a journal.
+
+    Raises:
+        JournalError: on a malformed non-final line.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise JournalError(f"no journal at {path}")
+    lines = path.read_text(encoding="utf-8").splitlines()
+    records: list[dict] = []
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if i == len(lines) - 1:
+                break  # torn final line: the crash ate it
+            raise JournalError(
+                f"{path}: malformed record on line {i + 1}: {exc}"
+            ) from exc
+    return records
+
+
+def validate_journal_records(records: list[dict]) -> int:
+    """Validate journal structure and integrity; return the record count.
+
+    Checks: non-empty, ``session`` first (exactly once), contiguous
+    1-based ``seq``, known record types with their required keys, every
+    commit's payload bytes matching its recorded checksum, and intents
+    preceding their stripe's commit.
+
+    Raises:
+        JournalError: naming the first offending record and why.
+    """
+
+    def fail(i: int, message: str) -> None:
+        raise JournalError(f"record {i}: {message}")
+
+    if not records:
+        raise JournalError("journal is empty")
+    required = {
+        "session": (),
+        "intent": ("stripe_id", "aggregated", "lost_chunk"),
+        "stage": ("stripe_id", "stage", "node", "rack"),
+        "commit": (
+            "stripe_id", "lost_chunk", "ok", "payload", "dtype", "checksum",
+            "cross_rack_bytes", "intra_rack_bytes", "bytes_computed_by_node",
+        ),
+        "resume": ("replayed", "pending"),
+        "end": ("committed",),
+    }
+    intents: set[int] = set()
+    committed: set[int] = set()
+    for i, record in enumerate(records):
+        if not isinstance(record, dict):
+            fail(i, f"not an object: {type(record).__name__}")
+        if record.get("seq") != i + 1:
+            fail(i, f"seq {record.get('seq')!r}, expected {i + 1}")
+        rec = record.get("rec")
+        if rec not in RECORD_TYPES:
+            fail(i, f"unknown record type {rec!r}")
+        if (rec == "session") != (i == 0):
+            fail(i, "session header must appear exactly once, first")
+        for key in required[rec]:
+            if key not in record:
+                fail(i, f"{rec} record missing key {key!r}")
+        if rec == "intent":
+            intents.add(record["stripe_id"])
+        elif rec == "commit":
+            if record["stripe_id"] not in intents:
+                fail(i, f"commit for stripe {record['stripe_id']} "
+                        "without a prior intent")
+            try:
+                decode_payload(record)
+            except JournalError as exc:
+                fail(i, str(exc))
+            committed.add(record["stripe_id"])
+        elif rec == "end":
+            if record["committed"] != len(committed):
+                fail(i, f"end claims {record['committed']} commits, "
+                        f"journal holds {len(committed)}")
+    return len(records)
+
+
+@dataclass
+class JournalReplay:
+    """Read-side view of a journal: what committed, what is pending.
+
+    Attributes:
+        records: the journal's records, in ``seq`` order.
+    """
+
+    records: list[dict] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "JournalReplay":
+        """Read and structurally validate a journal file."""
+        records = read_journal(path)
+        validate_journal_records(records)
+        return cls(records=records)
+
+    @property
+    def session(self) -> dict:
+        """The session header record."""
+        if not self.records or self.records[0].get("rec") != "session":
+            raise JournalError("journal has no session header")
+        return self.records[0]
+
+    @property
+    def committed(self) -> dict[int, dict]:
+        """stripe_id -> its commit record (a stripe commits once)."""
+        return {
+            r["stripe_id"]: r for r in self.records if r["rec"] == "commit"
+        }
+
+    @property
+    def pending(self) -> tuple[int, ...]:
+        """Session stripes without a commit, in stripe order."""
+        done = set(self.committed)
+        return tuple(
+            s for s in self.session.get("stripes", ()) if s not in done
+        )
+
+    @property
+    def complete(self) -> bool:
+        """True iff the session ended with every stripe committed."""
+        return (
+            bool(self.records)
+            and self.records[-1].get("rec") == "end"
+            and not self.pending
+        )
+
+    def committed_chunk(self, stripe_id: int) -> np.ndarray:
+        """The committed stripe's rebuilt bytes, checksum-verified.
+
+        Raises:
+            JournalError: if the stripe has no commit or its payload
+                fails verification.
+        """
+        record = self.committed.get(stripe_id)
+        if record is None:
+            raise JournalError(f"stripe {stripe_id} has no commit record")
+        return decode_payload(record)
+
+    @property
+    def total_cross_transfers(self) -> int:
+        """Every cross-rack payload any incarnation shipped.
+
+        Each ``cross_transfer`` stage record marks one chunk-sized
+        payload crossing the core — including shipments an aborted
+        attempt wasted and a later incarnation repeated.  The resume
+        traffic bound (uninterrupted transfers + at most the stripes in
+        flight per crash) is asserted against exactly this count.
+        """
+        return sum(
+            1
+            for r in self.records
+            if r["rec"] == "stage" and r["stage"] == "cross_transfer"
+        )
+
+    @property
+    def uncommitted_cross_transfers(self) -> int:
+        """Cross-rack flows logged for stripes that never committed."""
+        done = set(self.committed)
+        return sum(
+            1
+            for r in self.records
+            if r["rec"] == "stage"
+            and r["stage"] == "cross_transfer"
+            and r["stripe_id"] not in done
+        )

@@ -25,6 +25,9 @@ __all__ = [
     "RecoveryError",
     "NoValidSolutionError",
     "PlanError",
+    "IntegrityError",
+    "JournalError",
+    "CoordinatorCrashError",
     "SimulationError",
     "FlowError",
     "ConfigurationError",
@@ -113,6 +116,49 @@ class NoValidSolutionError(RecoveryError):
 
 class PlanError(RecoveryError):
     """A recovery plan is malformed or cannot be executed."""
+
+
+class IntegrityError(RecoveryError):
+    """An in-flight buffer failed checksum verification on receipt."""
+
+
+class JournalError(RecoveryError):
+    """A recovery journal is missing, malformed, or inconsistent."""
+
+
+class CoordinatorCrashError(RecoveryError):
+    """The recovery coordinator died mid-session (injected).
+
+    Unlike helper/delegate crashes — which the robust executor absorbs
+    by re-planning — a coordinator crash kills the whole session: it
+    escapes :meth:`~repro.faults.robust.RobustExecutor.run`, leaving
+    behind only what the write-ahead journal persisted.  A
+    :class:`~repro.durable.session.RecoverySession` resumes from there.
+
+    Attributes:
+        event: the fired fault event (``None`` for journal-scheduled
+            crash points, which fire between two records rather than at
+            a pipeline checkpoint).
+        records_written: journal records durably appended before death.
+    """
+
+    def __init__(
+        self,
+        message: str = "coordinator crashed",
+        event=None,
+        records_written: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.event = event
+        self.records_written = records_written
+
+    def __reduce__(self):
+        # Exception.__reduce__ would replay __init__ with self.args only,
+        # dropping the event/record context; workers must ship it whole.
+        return (
+            self.__class__,
+            (self.args[0], self.event, self.records_written),
+        )
 
 
 # ---------------------------------------------------------------------------

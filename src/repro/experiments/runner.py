@@ -31,6 +31,7 @@ from repro.recovery.solution import MultiStripeSolution
 
 __all__ = [
     "RunTelemetry", "RunResult", "Series", "ExperimentRunner", "mean_std",
+    "run_durable_recovery", "resume_durable_recovery",
 ]
 
 #: Reusable no-op context for the telemetry-disabled run path.
@@ -292,3 +293,121 @@ class ExperimentRunner:
             solutions=solutions,
             strategies=strategies,
         )
+
+
+# -- durable (crash-resumable) single runs --------------------------------
+
+def _durable_strategy(name: str, seed: int):
+    """Map a CLI/journal strategy label to a strategy instance.
+
+    The label (not the instance) is persisted in the journal header, so
+    a resuming process can rebuild the *same deterministic* strategy —
+    "direct" seeds its RNG from the run seed, making its solve
+    reproducible across incarnations.
+    """
+    from repro.recovery import CarStrategy, RandomRecoveryStrategy
+
+    if name == "car":
+        return CarStrategy()
+    if name == "direct":
+        return RandomRecoveryStrategy(rng=seed)
+    raise ConfigurationError(
+        f"unknown durable strategy {name!r} (expected 'car' or 'direct')"
+    )
+
+
+def run_durable_recovery(
+    config: CFSConfig,
+    journal_path: str | Path,
+    *,
+    strategy: str = "car",
+    seed: int = 0,
+    num_stripes: int | None = None,
+    chunk_size: int = 4096,
+    injector=None,
+    backoff=None,
+    crash_after_records: int | None = None,
+):
+    """One journalled recovery run on ``config`` (paper methodology).
+
+    Builds the cluster, fails a random node, and executes the whole
+    recovery inside a :class:`~repro.durable.session.RecoverySession`.
+    The journal's session header is self-describing — config name, run
+    seed, stripe count, chunk size, strategy label, failed node — so
+    :func:`resume_durable_recovery` can reconstruct the identical
+    cluster from the journal alone, in a fresh process.
+
+    Raises:
+        CoordinatorCrashError: when ``crash_after_records`` (or an armed
+            COORDINATOR_CRASH fault) kills the run; the journal at
+            ``journal_path`` is the resume point.
+    """
+    from repro.durable.session import RecoverySession
+
+    state = build_state(
+        config, seed=seed, with_data=True,
+        chunk_size=chunk_size, num_stripes=num_stripes,
+    )
+    event = FailureInjector(rng=seed).fail_random_node(state)
+    session = RecoverySession(
+        state, event, _durable_strategy(strategy, seed), journal_path,
+        injector=injector, backoff=backoff,
+        crash_after_records=crash_after_records,
+        session_meta={
+            "config": config.name,
+            "seed": seed,
+            "num_stripes": state.placement.num_stripes,
+            "strategy_label": strategy,
+        },
+    )
+    return session.run()
+
+
+def resume_durable_recovery(
+    journal_path: str | Path,
+    *,
+    crash_after_records: int | None = None,
+):
+    """Resume a crashed durable run from its journal, in any process.
+
+    Rebuilds the cluster (placement, data, failure) purely from the
+    journal's session header, then replays committed stripes and
+    executes pending ones.  Secondary-fault injection does not survive
+    the coordinator: the resumed incarnation runs fault-free unless the
+    caller arms ``crash_after_records`` again.
+
+    Raises:
+        JournalError: malformed journal, or a header missing the
+            self-description written by :func:`run_durable_recovery`.
+    """
+    from repro.durable.journal import JournalReplay
+    from repro.durable.session import RecoverySession
+    from repro.errors import JournalError
+    from repro.experiments.configs import ALL_CFS
+
+    replay = JournalReplay.load(journal_path)
+    header = replay.session
+    missing = [
+        key for key in ("config", "seed", "num_stripes", "chunk_size",
+                        "strategy_label", "failed_node")
+        if key not in header
+    ]
+    if missing:
+        raise JournalError(
+            f"journal header is not self-describing: missing {missing}"
+        )
+    configs = {c.name: c for c in ALL_CFS}
+    if header["config"] not in configs:
+        raise JournalError(f"journal names unknown config {header['config']!r}")
+    state = build_state(
+        configs[header["config"]], seed=header["seed"], with_data=True,
+        chunk_size=header["chunk_size"], num_stripes=header["num_stripes"],
+    )
+    event = FailureInjector().fail_node(state, header["failed_node"])
+    session = RecoverySession(
+        state, event,
+        _durable_strategy(header["strategy_label"], header["seed"]),
+        journal_path,
+        crash_after_records=crash_after_records,
+    )
+    return session.resume()

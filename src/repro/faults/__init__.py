@@ -15,6 +15,7 @@ itself survivable:
   stalls and retransmissions into the timing simulator.
 """
 
+from repro.errors import CoordinatorCrashError, IntegrityError
 from repro.faults.backoff import BackoffPolicy
 from repro.faults.events import (
     ActionKind,
@@ -38,6 +39,8 @@ from repro.recovery.executor import PipelineStage
 __all__ = [
     "ActionKind",
     "BackoffPolicy",
+    "CoordinatorCrashError",
+    "IntegrityError",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",

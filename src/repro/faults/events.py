@@ -41,6 +41,13 @@ class FaultKind(str, enum.Enum):
     DISK_STALL = "disk_stall"
     #: A network flow is dropped and must be retransmitted.
     FLOW_DROP = "flow_drop"
+    #: The recovery coordinator itself dies mid-session.  Only the
+    #: write-ahead journal survives; a new incarnation resumes from it.
+    COORDINATOR_CRASH = "coordinator_crash"
+    #: A flow's payload is silently corrupted in transit; the receiver's
+    #: checksum verification detects it before decode (value ``corrupt``
+    #: so telemetry events are named ``fault.corrupt``).
+    IN_FLIGHT_CORRUPT = "corrupt"
 
 
 #: Stages each fault kind may be injected at.  ``CROSS_TRANSFER`` is
@@ -59,6 +66,11 @@ VALID_STAGES: dict[FaultKind, frozenset[PipelineStage]] = {
     ),
     FaultKind.DISK_STALL: frozenset({PipelineStage.DISK_READ}),
     FaultKind.FLOW_DROP: frozenset(
+        {PipelineStage.INTRA_TRANSFER, PipelineStage.CROSS_TRANSFER}
+    ),
+    # The coordinator can die at any checkpoint of any stage.
+    FaultKind.COORDINATOR_CRASH: frozenset(PipelineStage),
+    FaultKind.IN_FLIGHT_CORRUPT: frozenset(
         {PipelineStage.INTRA_TRANSFER, PipelineStage.CROSS_TRANSFER}
     ),
 }
@@ -207,6 +219,13 @@ class InjectedCrashError(RecoveryError):
         self.event = event
         self.node = event.node
 
+    def __reduce__(self):
+        # Exception.__reduce__ replays __init__ with self.args — here the
+        # formatted message, not the event — so an unpickled instance
+        # would carry a string where a FaultEvent belongs.  Workers in
+        # the parallel runner must ship the real event.
+        return (self.__class__, (self.event,))
+
 
 class RecoveryAbort(RecoveryError):
     """Recovery could not complete; carries the full :class:`FaultLog`.
@@ -222,3 +241,10 @@ class RecoveryAbort(RecoveryError):
         self.reason = reason
         self.log = log
         self.dead_nodes = frozenset(dead_nodes)
+
+    def __reduce__(self):
+        # self.args holds only (reason,); the default reduce would call
+        # __init__ without the required log argument and fail to
+        # unpickle — which is how worker-raised aborts used to die
+        # inside the ProcessPoolExecutor result queue.
+        return (self.__class__, (self.reason, self.log, self.dead_nodes))

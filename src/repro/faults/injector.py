@@ -78,6 +78,7 @@ class FaultInjector:
         rack: int,
         attempt: int = 0,
         is_partial: bool = False,
+        kinds: frozenset[FaultKind] | set[FaultKind] | None = None,
     ) -> FaultEvent | None:
         """Ask whether a fault fires at this checkpoint.
 
@@ -88,6 +89,11 @@ class FaultInjector:
                 same checkpoint (so limited specs drain against retries).
             is_partial: True when the payload is a partially decoded
                 chunk (distinguishes delegate flows from helper flows).
+            kinds: restrict matching to these fault kinds (``None``
+                matches all).  The executor polls transmission faults
+                (corruption) and checkpoint faults (crashes, stalls,
+                drops) at different points; the filter keeps each poll
+                from consuming the other's fire budgets.
 
         Returns:
             The fired :class:`FaultEvent`, also appended to
@@ -96,6 +102,8 @@ class FaultInjector:
         for i, spec in enumerate(self._specs):
             left = self._remaining[i]
             if left is not None and left <= 0:
+                continue
+            if kinds is not None and spec.kind not in kinds:
                 continue
             if spec.stage is not stage:
                 continue

@@ -30,9 +30,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cluster.failure import degraded_view
 from repro.cluster.state import ClusterState, FailureEvent
-from repro.errors import NoValidSolutionError
+from repro.errors import CoordinatorCrashError, NoValidSolutionError
 from repro.faults.backoff import BackoffPolicy
 from repro.faults.events import (
     ActionKind,
@@ -54,6 +56,12 @@ from repro.recovery.selector import CarSelector
 from repro.recovery.solution import MultiStripeSolution, PerStripeSolution
 
 __all__ = ["RobustExecutionResult", "RobustExecutor", "recover_with_faults"]
+
+#: Kinds the checkpoint hook polls for.  In-flight corruption belongs to
+#: the transmission hook (:meth:`RobustExecutor._transmit`) — splitting
+#: the polls keeps either from draining the other's fire budgets.
+_CHECKPOINT_KINDS = frozenset(FaultKind) - {FaultKind.IN_FLIGHT_CORRUPT}
+_TRANSMIT_KINDS = frozenset({FaultKind.IN_FLIGHT_CORRUPT})
 
 
 @dataclass
@@ -114,6 +122,11 @@ class RobustExecutor(PlanExecutor):
         max_replans: aggregated re-plans before degrading to direct.
         rebalance: run Algorithm 2 on aggregated re-plans so the
             degraded solution keeps λ low over the surviving racks.
+        journal: optional write-ahead journal making the run resumable
+            after a coordinator crash.
+        verify_integrity: checksum-verify every transferred payload on
+            receipt (default on — a fault-aware executor should never
+            trust the network).
     """
 
     def __init__(
@@ -124,8 +137,15 @@ class RobustExecutor(PlanExecutor):
         max_replans: int = 2,
         rebalance: bool = True,
         tracer: Tracer | NullTracer | None = None,
+        journal=None,
+        verify_integrity: bool = True,
     ) -> None:
-        super().__init__(state, tracer=tracer)
+        super().__init__(
+            state,
+            tracer=tracer,
+            journal=journal,
+            verify_integrity=verify_integrity,
+        )
         self.injector = injector or FaultInjector()
         self.backoff = backoff or BackoffPolicy()
         self.max_replans = max_replans
@@ -133,6 +153,7 @@ class RobustExecutor(PlanExecutor):
         self._log: FaultLog | None = None
         self._backoff_total = 0.0
         self._stall_total = 0.0
+        self._last_corrupt_event: FaultEvent | None = None
 
     def _record(self, entry: FaultEvent | RecoveryAction) -> None:
         """Append to the FaultLog, mirroring into the trace/metrics.
@@ -204,10 +225,25 @@ class RobustExecutor(PlanExecutor):
                 rack=rack,
                 attempt=attempt,
                 is_partial=is_partial,
+                kinds=_CHECKPOINT_KINDS,
             )
             if event is None:
                 return
             self._record(event)
+            if event.kind is FaultKind.COORDINATOR_CRASH:
+                # Not survivable in-process: the coordinator IS this
+                # executor.  Everything not yet journalled dies with it;
+                # a RecoverySession resumes from the journal.
+                raise CoordinatorCrashError(
+                    f"coordinator crashed at {stage.value} "
+                    f"(stripe {stripe_id})",
+                    event=event,
+                    records_written=(
+                        self.journal.records_written
+                        if self.journal is not None
+                        else 0
+                    ),
+                )
             if event.kind in (FaultKind.HELPER_CRASH, FaultKind.DELEGATE_CRASH):
                 raise InjectedCrashError(event)
             attempt += 1
@@ -249,6 +285,97 @@ class RobustExecutor(PlanExecutor):
                         detail=f"retransmit #{attempt} after drop",
                     )
                 )
+
+    # -- in-flight integrity ----------------------------------------------
+
+    def _transmit(
+        self,
+        stage: PipelineStage,
+        buf: np.ndarray,
+        *,
+        stripe_id: int,
+        node: int,
+        rack: int,
+        attempt: int = 0,
+        is_partial: bool = False,
+    ) -> np.ndarray:
+        """Deliver a payload, corrupting it if an armed fault fires.
+
+        The corruption is a deterministic single-element bit flip (the
+        position comes from the injector's seeded RNG), so a corrupt run
+        replays byte-identically — and the receiver's checksum *must*
+        catch it, because one flipped bit changes the CRC.
+        """
+        if self._log is None:
+            return buf
+        event = self.injector.poll(
+            stage,
+            stripe_id=stripe_id,
+            node=node,
+            rack=rack,
+            attempt=attempt,
+            is_partial=is_partial,
+            kinds=_TRANSMIT_KINDS,
+        )
+        if event is None:
+            return buf
+        self._record(event)
+        self._last_corrupt_event = event
+        corrupted = np.array(buf, copy=True)
+        corrupted.flat[self.injector.rng.randrange(corrupted.size)] ^= 1
+        return corrupted
+
+    def _on_corrupt(
+        self,
+        stage: PipelineStage,
+        *,
+        stripe_id: int,
+        node: int,
+        rack: int,
+        attempt: int,
+        is_partial: bool = False,
+    ) -> None:
+        """Corrupt receipt: retransmit with backoff, escalate when spent.
+
+        Escalation raises :class:`InjectedCrashError` against the
+        sending node — a link that corrupts every retransmission is as
+        dead as a crashed helper — which routes into the existing
+        REPLAN → DEGRADE ladder.
+        """
+        if self._log is None or self._last_corrupt_event is None:
+            super()._on_corrupt(
+                stage,
+                stripe_id=stripe_id,
+                node=node,
+                rack=rack,
+                attempt=attempt,
+                is_partial=is_partial,
+            )
+            return
+        if attempt >= self.backoff.max_attempts:
+            self._record(
+                RecoveryAction(
+                    action=ActionKind.ESCALATE,
+                    stripe_id=stripe_id,
+                    node=node,
+                    detail=(
+                        f"corrupt payload survived "
+                        f"{self.backoff.max_attempts} retransmissions"
+                    ),
+                )
+            )
+            raise InjectedCrashError(self._last_corrupt_event)
+        delay = self.backoff.delay(attempt)
+        self._backoff_total += delay
+        self._record(
+            RecoveryAction(
+                action=ActionKind.RETRY,
+                stripe_id=stripe_id,
+                node=node,
+                wait_seconds=delay,
+                detail=f"retransmit #{attempt} after corrupt payload",
+            )
+        )
 
     # -- the robust loop -------------------------------------------------
 
@@ -476,6 +603,9 @@ def recover_with_faults(
     backoff: BackoffPolicy | None = None,
     max_replans: int = 2,
     rebalance: bool = True,
+    journal=None,
+    verify_integrity: bool = True,
+    tracer=None,
 ) -> RobustExecutionResult:
     """Solve, plan, and robustly execute a recovery in one call.
 
@@ -493,5 +623,8 @@ def recover_with_faults(
         backoff=backoff,
         max_replans=max_replans,
         rebalance=rebalance,
+        journal=journal,
+        verify_integrity=verify_integrity,
+        tracer=tracer,
     )
     return executor.run(event, solution, plan)

@@ -16,26 +16,48 @@ Execution is organised stripe-by-stripe around named *pipeline stages*
 a no-op here, but the fault-injection layer (:mod:`repro.faults`)
 overrides it to crash helpers, stall disks, or drop flows at exactly
 that point in the pipeline.
+
+Two orthogonal durability features (both off by default, so the
+fault-free fast path is unchanged):
+
+- ``verify_integrity=True`` routes every transferred buffer — raw
+  helper chunks and partially decoded aggregates alike — through
+  :meth:`PlanExecutor._deliver`: checksummed at creation, passed
+  through the :meth:`_transmit` hook (where the fault layer can corrupt
+  bytes in flight), and verified on receipt.  A mismatch invokes
+  :meth:`_on_corrupt` — here a hard :class:`IntegrityError`, in the
+  robust executor a retransmit ladder — so no unverified byte is ever
+  fed to a decode.
+- ``journal=`` makes execution crash-resumable: a
+  :class:`~repro.durable.journal.RecoveryJournal` receives an intent
+  record before each stripe, stage records as cross-rack payloads ship
+  and decodes land, and a commit record (with the rebuilt bytes and the
+  stripe's traffic/compute deltas) once the stripe verifies.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.cluster.state import ClusterState
+from repro.durable.checksum import chunk_checksum
 from repro.erasure.repair import (
     combine_partials,
     execute_partial_decode,
     split_repair_vector,
 )
-from repro.errors import PlanError
+from repro.errors import IntegrityError, PlanError
 from repro.obs import metrics as _metrics
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.recovery.planner import RecoveryPlan, StripePlan
 from repro.recovery.solution import MultiStripeSolution, PerStripeSolution
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.durable.journal import RecoveryJournal
 
 __all__ = ["PipelineStage", "ExecutionResult", "PlanExecutor"]
 
@@ -59,6 +81,19 @@ class PipelineStage(str, enum.Enum):
     PARTIAL_DECODE = "partial_decode"
     LOCAL_FOLD = "local_fold"
     FINAL_COMBINE = "final_combine"
+
+
+#: Stages worth a write-ahead journal record: the expensive, externally
+#: visible transitions (a payload crossed the core, a delegate decoded,
+#: the replacement combined).  Disk reads and intra-rack moves are cheap
+#: to redo on resume and would triple the journal for no recovery value.
+_JOURNALED_STAGES = frozenset(
+    {
+        PipelineStage.CROSS_TRANSFER,
+        PipelineStage.PARTIAL_DECODE,
+        PipelineStage.FINAL_COMBINE,
+    }
+)
 
 
 @dataclass
@@ -108,11 +143,16 @@ class PlanExecutor:
         self,
         state: ClusterState,
         tracer: Tracer | NullTracer | None = None,
+        *,
+        journal: "RecoveryJournal | None" = None,
+        verify_integrity: bool = False,
     ) -> None:
         if state.data is None:
             raise PlanError("executing a plan requires a DataStore")
         self.state = state
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.journal = journal
+        self.verify_integrity = verify_integrity
 
     def execute(
         self, plan: RecoveryPlan, solution: MultiStripeSolution
@@ -143,7 +183,23 @@ class PlanExecutor:
         that raises aborts the stripe with ``result`` holding only the
         traffic consumed so far (the robust executor uses this to
         account wasted bytes of failed attempts).
+
+        With a journal attached, an intent record precedes the stripe
+        and a commit record — rebuilt bytes plus this stripe's traffic
+        and compute deltas — follows its verification, so a resumed
+        session replays the stripe from the commit without re-shipping
+        anything.  An aborted attempt leaves intent without commit; the
+        next attempt (or incarnation) writes a fresh intent.
         """
+        if self.journal is not None:
+            self.journal.stripe_intent(
+                sol.stripe_id,
+                aggregated=plan.aggregated,
+                lost_chunk=sol.lost_chunk,
+            )
+            before_cross = result.cross_rack_bytes
+            before_intra = result.intra_rack_bytes
+            before_compute = dict(result.bytes_computed_by_node)
         with self.tracer.span(
             "exec.stripe",
             stripe_id=sol.stripe_id,
@@ -154,6 +210,20 @@ class PlanExecutor:
         if reg is not None:
             mode = "aggregated" if plan.aggregated else "direct"
             reg.counter("exec.stripes").inc(mode=mode)
+        if self.journal is not None:
+            self.journal.stripe_commit(
+                sol.stripe_id,
+                result.reconstructed[sol.stripe_id],
+                lost_chunk=sol.lost_chunk,
+                ok=result.per_stripe_ok[sol.stripe_id],
+                cross_rack_bytes=result.cross_rack_bytes - before_cross,
+                intra_rack_bytes=result.intra_rack_bytes - before_intra,
+                bytes_computed_by_node={
+                    n: b - before_compute.get(n, 0)
+                    for n, b in result.bytes_computed_by_node.items()
+                    if b - before_compute.get(n, 0)
+                },
+            )
 
     def _execute_stripe(
         self,
@@ -174,7 +244,11 @@ class PlanExecutor:
                 chunk=c,
             )
         # Raw chunk transfers (partial-payload flows are checkpointed and
-        # counted with their decode, below, to keep pipeline order).
+        # counted with their decode, below, to keep pipeline order).  The
+        # received — integrity-verified — buffers are what the decodes
+        # consume; a chunk that never crosses the network is read from
+        # its disk directly.
+        delivered: dict[int, np.ndarray] = {}
         for t in sp.transfers:
             if t.is_partial:
                 continue
@@ -183,8 +257,9 @@ class PlanExecutor:
                 if t.cross_rack
                 else PipelineStage.INTRA_TRANSFER
             )
-            self._checkpoint(
+            delivered[t.chunk_index] = self._deliver(
                 stage,
+                self.state.data.chunk(sol.stripe_id, t.chunk_index),
                 stripe_id=sol.stripe_id,
                 node=t.src_node,
                 rack=t.src_rack,
@@ -195,9 +270,11 @@ class PlanExecutor:
             else:
                 result.intra_rack_bytes += chunk_bytes
         if plan.aggregated:
-            rebuilt = self._execute_stripe_aggregated(sol, plan, sp, result)
+            rebuilt = self._execute_stripe_aggregated(
+                sol, plan, sp, result, delivered
+            )
         else:
-            rebuilt = self._execute_stripe_direct(sol, plan, result)
+            rebuilt = self._execute_stripe_direct(sol, plan, result, delivered)
         self._checkpoint(
             PipelineStage.FINAL_COMBINE,
             stripe_id=sol.stripe_id,
@@ -240,26 +317,159 @@ class PlanExecutor:
         reg = _metrics.CURRENT
         if reg is not None:
             reg.counter("exec.stage.checkpoints").inc(stage=stage.value)
+        if self.journal is not None and stage in _JOURNALED_STAGES:
+            self.journal.stage(
+                stripe_id,
+                stage.value,
+                node=node,
+                rack=rack,
+                chunk=chunk,
+                is_partial=is_partial,
+            )
+
+    def _deliver(
+        self,
+        stage: PipelineStage,
+        buf: np.ndarray,
+        *,
+        stripe_id: int,
+        node: int,
+        rack: int,
+        chunk: int | None = None,
+        is_partial: bool = False,
+    ) -> np.ndarray:
+        """Ship one buffer through a transfer stage, verified on receipt.
+
+        The stage checkpoint fires first (preserving the fault layer's
+        crash/stall/drop semantics and checkpoint ordering).  With
+        integrity verification off this is the whole story and the
+        sender's buffer is returned untouched.  With it on, the buffer
+        is checksummed at creation, pushed through :meth:`_transmit`
+        (where the fault layer may corrupt it), and re-checksummed on
+        receipt; every mismatch calls :meth:`_on_corrupt` and, if that
+        returns, retransmits.  Only a buffer whose received checksum
+        matches the sender's is ever returned to a decode.
+        """
+        self._checkpoint(
+            stage,
+            stripe_id=stripe_id,
+            node=node,
+            rack=rack,
+            chunk=chunk,
+            is_partial=is_partial,
+        )
+        if not self.verify_integrity:
+            return buf
+        expected = chunk_checksum(buf)
+        attempt = 0
+        while True:
+            received = self._transmit(
+                stage,
+                buf,
+                stripe_id=stripe_id,
+                node=node,
+                rack=rack,
+                attempt=attempt,
+                is_partial=is_partial,
+            )
+            if chunk_checksum(received) == expected:
+                reg = _metrics.CURRENT
+                if reg is not None:
+                    reg.counter("integrity.verified").inc(stage=stage.value)
+                return received
+            attempt += 1
+            reg = _metrics.CURRENT
+            if reg is not None:
+                reg.counter("integrity.corruptions").inc(stage=stage.value)
+            self._on_corrupt(
+                stage,
+                stripe_id=stripe_id,
+                node=node,
+                rack=rack,
+                attempt=attempt,
+                is_partial=is_partial,
+            )
+
+    def _transmit(
+        self,
+        stage: PipelineStage,
+        buf: np.ndarray,
+        *,
+        stripe_id: int,
+        node: int,
+        rack: int,
+        attempt: int = 0,
+        is_partial: bool = False,
+    ) -> np.ndarray:
+        """Network hook: what the receiver sees.
+
+        The base network is perfect — the sender's buffer arrives as
+        is.  The fault layer overrides this to corrupt bytes in flight
+        (:attr:`~repro.faults.events.FaultKind.IN_FLIGHT_CORRUPT`).
+        """
+        return buf
+
+    def _on_corrupt(
+        self,
+        stage: PipelineStage,
+        *,
+        stripe_id: int,
+        node: int,
+        rack: int,
+        attempt: int,
+        is_partial: bool = False,
+    ) -> None:
+        """Checksum-mismatch hook; returning means "retransmit".
+
+        Without a fault-handling layer a corrupt receipt is fatal — the
+        plain executor has no retry policy, and silently re-reading
+        would hide real faults.  The robust executor overrides this
+        with the RETRY/ESCALATE ladder.
+        """
+        raise IntegrityError(
+            f"checksum mismatch at {stage.value}: payload from node {node} "
+            f"(stripe {stripe_id}, attempt {attempt})"
+        )
 
     def _charge(self, result: ExecutionResult, node: int, nbytes: int) -> None:
         result.bytes_computed_by_node[node] = (
             result.bytes_computed_by_node.get(node, 0) + nbytes
         )
 
-    def _chunks(self, stripe_id: int, indices) -> dict[int, np.ndarray]:
+    def _chunks(
+        self, stripe_id: int, indices, delivered=None
+    ) -> dict[int, np.ndarray]:
+        """Helper chunk buffers, preferring network-delivered copies.
+
+        A chunk that moved over the network decodes from the verified
+        received buffer; one that never left its node (the delegate's
+        own chunk, co-located helpers) reads from disk.
+        """
+        if delivered is None:
+            delivered = {}
         return {
-            c: self.state.data.chunk(stripe_id, c) for c in indices
+            c: (
+                delivered[c]
+                if c in delivered
+                else self.state.data.chunk(stripe_id, c)
+            )
+            for c in indices
         }
 
     def _execute_stripe_aggregated(
-        self, sol, plan: RecoveryPlan, sp: StripePlan, result
+        self, sol, plan: RecoveryPlan, sp: StripePlan, result, delivered=None
     ):
         code = self.state.code
         chunk_bytes = self.state.data.chunk_size
         decode_plan = split_repair_vector(
             code, sol.lost_chunk, sol.helpers, sol.rack_map()
         )
-        chunks = self._chunks(sol.stripe_id, sol.helpers)
+        chunks = self._chunks(sol.stripe_id, sol.helpers, delivered)
+        # Each rack's partial decode (Equation 7) happens at its
+        # delegate; the buffers computed here are the payloads the
+        # delivery step below ships — and possibly corrupts/verifies —
+        # before the final combine may touch them.
+        partials = execute_partial_decode(code, decode_plan, chunks)
         partial_transfers = [t for t in sp.transfers if t.is_partial]
         # Charge each rack's partial decode to its delegate (or to the
         # replacement node for the failed rack's local fold).
@@ -286,10 +496,11 @@ class PlanExecutor:
                     is_partial=True,
                 )
                 xfer = _partial_transfer_from(partial_transfers, node)
-                self._checkpoint(
+                partials[group.group_key] = self._deliver(
                     PipelineStage.CROSS_TRANSFER
                     if xfer.cross_rack
                     else PipelineStage.INTRA_TRANSFER,
+                    partials[group.group_key],
                     stripe_id=sol.stripe_id,
                     node=node,
                     rack=group.group_key,
@@ -300,17 +511,18 @@ class PlanExecutor:
                 else:
                     result.intra_rack_bytes += chunk_bytes
             self._charge(result, node, group.size * chunk_bytes)
-        partials = execute_partial_decode(code, decode_plan, chunks)
         # Final XOR of the per-rack partials at the replacement node.
         self._charge(
             result, plan.replacement_node, len(partials) * chunk_bytes
         )
         return combine_partials(code, partials)
 
-    def _execute_stripe_direct(self, sol, plan: RecoveryPlan, result):
+    def _execute_stripe_direct(
+        self, sol, plan: RecoveryPlan, result, delivered=None
+    ):
         code = self.state.code
         chunk_bytes = self.state.data.chunk_size
-        chunks = self._chunks(sol.stripe_id, sol.helpers)
+        chunks = self._chunks(sol.stripe_id, sol.helpers, delivered)
         self._charge(
             result, plan.replacement_node, len(chunks) * chunk_bytes
         )

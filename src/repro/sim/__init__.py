@@ -1,7 +1,12 @@
 """Timing simulation: hardware profiles and recovery-time estimation."""
 
 from repro.sim.hardware import TABLE_III_PROFILES, HardwareModel, NodeHardware
-from repro.sim.recovery_sim import RecoverySimulator, RecoveryTiming, build_tasks
+from repro.sim.recovery_sim import (
+    DurabilityCostModel,
+    RecoverySimulator,
+    RecoveryTiming,
+    build_tasks,
+)
 from repro.sim.timing import (
     SerialRecoveryTiming,
     StripeSerialTimingModel,
@@ -12,6 +17,7 @@ __all__ = [
     "NodeHardware",
     "HardwareModel",
     "TABLE_III_PROFILES",
+    "DurabilityCostModel",
     "RecoverySimulator",
     "RecoveryTiming",
     "build_tasks",

@@ -44,7 +44,42 @@ from repro.sim.hardware import HardwareModel
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.faults.timeline import FaultTimeline
 
-__all__ = ["RecoveryTiming", "RecoverySimulator", "build_tasks"]
+__all__ = [
+    "DurabilityCostModel",
+    "RecoveryTiming",
+    "RecoverySimulator",
+    "build_tasks",
+]
+
+
+@dataclass(frozen=True)
+class DurabilityCostModel:
+    """Simulated-time cost of the durability layer.
+
+    When threaded into :class:`RecoverySimulator`, every stripe pays a
+    write-ahead intent append before any work and a commit append (plus
+    the payload checksum) after its disk write, both serialised on the
+    coordinator's journal disk; every received payload pays a CRC
+    verification on the receiving CPU before anything may consume it.
+
+    Attributes:
+        journal_append_seconds: one fsynced JSONL append on the journal
+            disk (dominated by the sync, not the bytes).
+        checksum_bytes_per_second: CRC32 throughput of one core; both
+            receipt verification and the commit-payload checksum are
+            charged at this rate.
+    """
+
+    journal_append_seconds: float = 2e-3
+    checksum_bytes_per_second: float = 3e9
+
+    def verify_seconds(self, nbytes: int) -> float:
+        """CPU seconds to checksum ``nbytes``."""
+        return nbytes / self.checksum_bytes_per_second
+
+    def commit_seconds(self, nbytes: int) -> float:
+        """Journal-disk seconds for a commit carrying an nbytes payload."""
+        return self.journal_append_seconds + self.verify_seconds(nbytes)
 
 
 @dataclass(frozen=True)
@@ -67,6 +102,8 @@ class RecoveryTiming:
         fault_time: busy time attributable to injected faults — disk
             stalls plus retransmitted flows (zero without a timeline).
         num_retries: retransmitted flows the timeline injected.
+        durability_time: busy time of the durability layer — journal
+            appends and receipt checksums (zero without a cost model).
     """
 
     total_time: float
@@ -76,6 +113,7 @@ class RecoveryTiming:
     num_chunks: int
     fault_time: float = 0.0
     num_retries: int = 0
+    durability_time: float = 0.0
 
     @property
     def time_per_chunk(self) -> float:
@@ -108,19 +146,22 @@ def build_tasks(
     chunk_size: int,
     include_disk: bool = True,
     timeline: "FaultTimeline | None" = None,
+    durability: DurabilityCostModel | None = None,
 ) -> list[SimTask]:
     """Expand a recovery plan into the simulator's task DAG.
 
     Args:
         timeline: optional fault perturbations (disk stalls, flow
             retransmissions) to weave into the DAG.
+        durability: optional durability costs — per-stripe journal
+            intent/commit appends and per-flow receipt checksums.
     """
     tasks: list[SimTask] = []
     for sp in plan.stripe_plans:
         tasks.extend(
             _stripe_tasks(
                 state, plan, sp, fabric, hardware, chunk_size, include_disk,
-                timeline,
+                timeline, durability,
             )
         )
     return tasks
@@ -135,12 +176,28 @@ def _stripe_tasks(
     chunk_size: int,
     include_disk: bool,
     timeline: "FaultTimeline | None" = None,
+    durability: DurabilityCostModel | None = None,
 ) -> list[SimTask]:
     s = sp.stripe_id
     repl = plan.replacement_node
     tasks: list[SimTask] = []
     read_ids: dict[int, str] = {}  # chunk index -> disk-read task id
     stall_ids: dict[int, str] = {}  # node -> injected-stall task id
+
+    # The write-ahead intent lands on the coordinator's journal disk
+    # before any of the stripe's work may start.
+    intent_deps: list[str] = []
+    if durability is not None:
+        intent_tid = f"s{s}:durable:intent"
+        tasks.append(
+            serial_task(
+                intent_tid,
+                resource=("disk", repl),
+                duration=durability.journal_append_seconds,
+                tag="durable:journal",
+            )
+        )
+        intent_deps = [intent_tid]
 
     def stall_dep(node: int) -> list[str]:
         """Injected disk stall this stripe's work on ``node`` queues behind."""
@@ -175,18 +232,25 @@ def _stripe_tasks(
                     tid,
                     resource=("disk", node),
                     duration=hardware.profile(node).disk_read_seconds(chunk_size),
-                    deps=stall_dep(node),
+                    deps=stall_dep(node) + intent_deps,
                     tag="disk:read",
                 )
             )
         return [read_ids[chunk]]
 
     def make_flow(
-        tid: str, src_node: int, path, deps: list[str], tag: str
-    ) -> None:
-        """A flow, preceded by its injected retransmissions (if any)."""
+        tid: str, src_node: int, dst_node: int, path, deps: list[str],
+        tag: str,
+    ) -> str:
+        """A flow, preceded by its injected retransmissions (if any).
+
+        Returns the task id consumers must depend on: the flow itself,
+        or — under a durability model — the receiver's checksum
+        verification, so nothing downstream touches an unverified
+        payload (mirroring the executor's delivery contract).
+        """
         retries = timeline.retries_for(s, src_node) if timeline else 0
-        prev = list(deps)
+        prev = list(deps) + intent_deps
         for i in range(1, retries + 1):
             rid = f"{tid}:retry{i}"
             tasks.append(
@@ -202,6 +266,19 @@ def _stripe_tasks(
         tasks.append(
             flow_task(tid, path=path, size_bytes=chunk_size, deps=prev, tag=tag)
         )
+        if durability is None:
+            return tid
+        vid = f"{tid}:verify"
+        tasks.append(
+            serial_task(
+                vid,
+                resource=("cpu", dst_node),
+                duration=durability.verify_seconds(chunk_size),
+                deps=[tid],
+                tag="durable:verify",
+            )
+        )
+        return vid
 
     # Raw chunk flows (intra-rack to delegates / replacement, or the
     # direct RR flows).  Partial flows are added with their decode below.
@@ -215,14 +292,15 @@ def _stripe_tasks(
         deps = read_task(t.chunk_index, t.src_node)
         tid = f"s{s}:xfer:c{t.chunk_index}"
         tag = "xfer:cross" if t.cross_rack else "xfer:intra"
-        make_flow(
-            tid, t.src_node, fabric.path(t.src_node, t.dst_node), deps, tag
+        got = make_flow(
+            tid, t.src_node, t.dst_node,
+            fabric.path(t.src_node, t.dst_node), deps, tag,
         )
-        raw_flow_ids[t.chunk_index] = tid
+        raw_flow_ids[t.chunk_index] = got
         if t.dst_node == repl:
-            inbound_to_repl.append(tid)
+            inbound_to_repl.append(got)
         else:
-            inbound_to_delegate.setdefault(t.dst_node, []).append(tid)
+            inbound_to_delegate.setdefault(t.dst_node, []).append(got)
 
     # Compute tasks.  The GF combine-efficiency width is the stripe's
     # full decode width: CAR's pieces stream with the efficiency of the
@@ -258,14 +336,16 @@ def _stripe_tasks(
             )
             xfer = _find_partial_transfer(partial_transfers, ct.node)
             ftid = f"s{s}:xfer:partial:r{rack}"
-            make_flow(
-                ftid,
-                xfer.src_node,
-                fabric.path(xfer.src_node, xfer.dst_node),
-                [ctid],
-                "xfer:cross" if xfer.cross_rack else "xfer:intra",
+            final_deps.append(
+                make_flow(
+                    ftid,
+                    xfer.src_node,
+                    xfer.dst_node,
+                    fabric.path(xfer.src_node, xfer.dst_node),
+                    [ctid],
+                    "xfer:cross" if xfer.cross_rack else "xfer:intra",
+                )
             )
-            final_deps.append(ftid)
         elif ct.kind == "local":
             ltid = f"s{s}:local-fold"
             tasks.append(
@@ -303,14 +383,28 @@ def _stripe_tasks(
             tag="compute:final",
         )
     )
+    last = ftid
     if include_disk:
+        last = f"s{s}:write"
         tasks.append(
             serial_task(
-                f"s{s}:write",
+                last,
                 resource=("disk", repl),
                 duration=hardware.profile(repl).disk_write_seconds(chunk_size),
                 deps=[ftid],
                 tag="disk:write",
+            )
+        )
+    if durability is not None:
+        # The commit record — checksummed payload included — seals the
+        # stripe on the journal disk once the rebuilt chunk is durable.
+        tasks.append(
+            serial_task(
+                f"s{s}:durable:commit",
+                resource=("disk", repl),
+                duration=durability.commit_seconds(chunk_size),
+                deps=[last],
+                tag="durable:journal",
             )
         )
     return tasks
@@ -332,12 +426,14 @@ class RecoverySimulator:
         hardware: HardwareModel | None = None,
         include_disk: bool = True,
         tracer: Tracer | NullTracer | None = None,
+        durability: DurabilityCostModel | None = None,
     ) -> None:
         self.state = state
         self.fabric = FabricModel(state.topology)
         self.hardware = hardware or HardwareModel(state.topology)
         self.include_disk = include_disk
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.durability = durability
 
     def simulate(
         self,
@@ -356,6 +452,7 @@ class RecoverySimulator:
         tasks = build_tasks(
             self.state, plan, self.fabric, self.hardware, chunk_size,
             include_disk=self.include_disk, timeline=timeline,
+            durability=self.durability,
         )
         num_retries = sum(1 for t in tasks if t.tag == "xfer:retry")
         sim = FluidNetworkSimulator(self.fabric)
@@ -385,6 +482,7 @@ class RecoverySimulator:
         ("xfer", "transfer"),
         ("compute:final", "decode"),
         ("compute", "aggregate"),
+        ("durable", "durable"),
     )
 
     def _emit_stripe_spans(
@@ -415,7 +513,7 @@ class RecoverySimulator:
                 {
                     "start": start, "end": end, "tasks": 0,
                     "read_s": 0.0, "transfer_s": 0.0, "aggregate_s": 0.0,
-                    "decode_s": 0.0, "fault_s": 0.0,
+                    "decode_s": 0.0, "fault_s": 0.0, "durable_s": 0.0,
                 },
             )
             acc["start"] = min(acc["start"], start)
@@ -439,6 +537,7 @@ class RecoverySimulator:
                 aggregate_s=acc["aggregate_s"],
                 decode_s=acc["decode_s"],
                 fault_s=acc["fault_s"],
+                durable_s=acc["durable_s"],
             )
 
     def _summarise(
@@ -459,4 +558,5 @@ class RecoverySimulator:
                 result.tagged_time("fault:") + result.tagged_time("xfer:retry")
             ),
             num_retries=num_retries,
+            durability_time=result.tagged_time("durable:"),
         )

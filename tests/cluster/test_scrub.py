@@ -109,3 +109,56 @@ class TestLocationAndHealing:
         assert report.corrupt_stripes == 1
         assert report.all_repaired
         assert Scrubber(state).stripe_is_consistent(1)
+
+
+class TestScrubMetrics:
+    """Scrub passes publish their outcome into the metrics registry."""
+
+    @staticmethod
+    def counter_series(registry, name):
+        metrics = registry.snapshot()["metrics"]
+        if name not in metrics:
+            return {}
+        return {
+            tuple(sorted(s["labels"].items())): s["value"]
+            for s in metrics[name]["series"]
+        }
+
+    def test_pass_and_outcomes_counted(self):
+        from repro.obs.metrics import MetricsRegistry, telemetry_scope
+
+        state = make_state()
+        state.data.corrupt(1, 2, seed=9)
+        registry = MetricsRegistry()
+        with telemetry_scope(registry):
+            report = Scrubber(state).scrub()
+        assert report.corrupt_stripes == 1
+        assert self.counter_series(registry, "scrub.passes") == {(): 1}
+        stripes = self.counter_series(registry, "scrub.stripes")
+        assert stripes[(("outcome", "clean"),)] == report.clean_stripes
+        assert stripes[(("outcome", "corrupt"),)] == 1
+        findings = self.counter_series(registry, "scrub.findings")
+        assert findings[(("outcome", "repaired"),)] == 1
+
+    def test_unrepairable_counted_separately(self):
+        from repro.obs.metrics import MetricsRegistry, telemetry_scope
+
+        state = make_state()
+        # Two corruptions in one stripe defeat single-exclusion location.
+        state.data.corrupt(0, 0, seed=5)
+        state.data.corrupt(0, 3, seed=6)
+        registry = MetricsRegistry()
+        with telemetry_scope(registry):
+            report = Scrubber(state).scrub()
+        assert not report.all_repaired
+        findings = self.counter_series(registry, "scrub.findings")
+        assert findings.get((("outcome", "unrepairable"),), 0) >= 1
+
+    def test_no_registry_no_side_effects(self):
+        from repro.obs import metrics as _metrics
+
+        assert _metrics.CURRENT is None
+        state = make_state()
+        state.data.corrupt(2, 1, seed=4)
+        report = Scrubber(state).scrub()  # must not blow up unregistered
+        assert report.all_repaired

@@ -1,0 +1,36 @@
+"""Shared builders for the durable-recovery test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster import (
+    ClusterState,
+    ClusterTopology,
+    DataStore,
+    FailureInjector,
+    RandomPlacementPolicy,
+)
+from repro.erasure import RSCode
+
+CHUNK = 96
+
+
+def build_failed_cluster(seed=7, stripes=6, chunk=CHUNK):
+    """A small CFS2-like cluster with real data and one failed node."""
+    code = RSCode(6, 3)
+    topo = ClusterTopology.from_rack_sizes([4, 3, 3, 3])
+    placement = RandomPlacementPolicy(rng=random.Random(seed)).place(
+        topo, stripes, code.k, code.m
+    )
+    data = DataStore(code, stripes, chunk_size=chunk, seed=seed)
+    state = ClusterState(topo, code, placement, data)
+    event = FailureInjector(rng=seed).fail_random_node(state)
+    return state, event
+
+
+@pytest.fixture
+def failed_cluster():
+    return build_failed_cluster()

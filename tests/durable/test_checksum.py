@@ -1,0 +1,67 @@
+"""Chunk checksums and journal payload round trips."""
+
+import numpy as np
+import pytest
+
+from repro.durable import chunk_checksum, decode_payload, encode_payload
+from repro.errors import JournalError
+
+
+class TestChunkChecksum:
+    def test_deterministic_and_content_sensitive(self):
+        buf = np.arange(256, dtype=np.uint8)
+        assert chunk_checksum(buf) == chunk_checksum(buf.copy())
+        flipped = buf.copy()
+        flipped[17] ^= 1
+        assert chunk_checksum(flipped) != chunk_checksum(buf)
+
+    def test_bytes_and_array_agree(self):
+        buf = np.arange(64, dtype=np.uint8)
+        assert chunk_checksum(buf) == chunk_checksum(buf.tobytes())
+
+    def test_non_contiguous_array(self):
+        buf = np.arange(128, dtype=np.uint8)[::2]
+        assert chunk_checksum(buf) == chunk_checksum(
+            np.ascontiguousarray(buf)
+        )
+
+    def test_fits_in_uint32(self):
+        checksum = chunk_checksum(np.zeros(16, dtype=np.uint8))
+        assert 0 <= checksum <= 0xFFFFFFFF
+
+
+class TestPayloadRoundTrip:
+    def test_round_trip_is_byte_identical(self):
+        rng = np.random.default_rng(3)
+        buf = rng.integers(0, 256, size=512, dtype=np.uint8)
+        out = decode_payload(encode_payload(buf))
+        assert out.dtype == buf.dtype
+        assert np.array_equal(out, buf)
+
+    def test_decoded_buffer_is_writable(self):
+        buf = np.arange(32, dtype=np.uint8)
+        out = decode_payload(encode_payload(buf))
+        out[0] ^= 0xFF  # frombuffer alone would be read-only
+
+    def test_tampered_payload_is_rejected(self):
+        record = encode_payload(np.arange(64, dtype=np.uint8))
+        tampered = dict(record, checksum=record["checksum"] ^ 1)
+        with pytest.raises(JournalError, match="checksum mismatch"):
+            decode_payload(tampered)
+
+    @pytest.mark.parametrize("breakage", [
+        {"payload": "!!not base64!!"},
+        {"dtype": "no-such-dtype"},
+        {"payload": None},
+    ], ids=["bad-base64", "bad-dtype", "none-payload"])
+    def test_malformed_record_is_rejected(self, breakage):
+        record = dict(encode_payload(np.arange(8, dtype=np.uint8)),
+                      **breakage)
+        with pytest.raises(JournalError, match="malformed"):
+            decode_payload(record)
+
+    def test_missing_key_is_rejected(self):
+        record = encode_payload(np.arange(8, dtype=np.uint8))
+        del record["checksum"]
+        with pytest.raises(JournalError, match="malformed"):
+            decode_payload(record)

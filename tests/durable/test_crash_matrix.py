@@ -1,0 +1,102 @@
+"""Crash-at-every-point: kill the coordinator at each record boundary.
+
+The exhaustive version of the resume contract.  For each strategy the
+uninterrupted run writes N journal records; we then re-run the whole
+recovery N times, crashing after record 1, 2, ..., N, resuming (as many
+times as it takes — a resume can itself land on the crash boundary
+again), and demand:
+
+- the final reconstruction is byte-identical to the uninterrupted run;
+- the journal validates and ends complete;
+- the cross-rack transfers actually shipped never exceed the
+  uninterrupted count by more than one stripe's worth per crash (only
+  the stripe in flight when the crash hit is re-shipped).
+"""
+
+import numpy as np
+import pytest
+
+from repro.durable.journal import JournalReplay
+from repro.durable.session import RecoverySession
+from repro.errors import CoordinatorCrashError
+from repro.recovery import CarStrategy, RandomRecoveryStrategy
+
+from tests.durable.conftest import build_failed_cluster
+
+SEED = 7
+STRIPES = 5
+
+
+def make_strategy(name):
+    return CarStrategy() if name == "car" else RandomRecoveryStrategy(
+        rng=SEED
+    )
+
+
+def run_to_completion(path, strategy_name, crash_after):
+    """One crashed run plus however many resumes it takes.
+
+    ``crash_after`` applies to the *first* incarnation only; resumes run
+    crash-free (each crash point is exercised by its own parameter).
+    Returns (result, crashes).
+    """
+    crashes = 0
+    state, event = build_failed_cluster(seed=SEED, stripes=STRIPES)
+    session = RecoverySession(
+        state, event, make_strategy(strategy_name), path,
+        crash_after_records=crash_after,
+    )
+    try:
+        return session.run(), crashes
+    except CoordinatorCrashError:
+        crashes += 1
+    state, event = build_failed_cluster(seed=SEED, stripes=STRIPES)
+    session = RecoverySession(
+        state, event, make_strategy(strategy_name), path
+    )
+    return session.resume(), crashes
+
+
+def baseline(strategy_name, tmp_path):
+    state, event = build_failed_cluster(seed=SEED, stripes=STRIPES)
+    path = tmp_path / "base.jsonl"
+    out = RecoverySession(
+        state, event, make_strategy(strategy_name), path
+    ).run()
+    replay = JournalReplay.load(path)
+    per_stripe_cross = {}
+    for r in replay.records:
+        if r["rec"] == "stage" and r["stage"] == "cross_transfer":
+            per_stripe_cross[r["stripe_id"]] = (
+                per_stripe_cross.get(r["stripe_id"], 0) + 1
+            )
+    return out, len(replay.records), replay.total_cross_transfers, (
+        max(per_stripe_cross.values()) if per_stripe_cross else 0
+    )
+
+
+@pytest.mark.parametrize("strategy_name", ["car", "direct"])
+def test_crash_at_every_record_boundary(strategy_name, tmp_path):
+    base, n_records, base_cross, max_stripe_cross = baseline(
+        strategy_name, tmp_path
+    )
+    assert base.verified
+    for crash_after in range(1, n_records + 1):
+        path = tmp_path / f"crash{crash_after}.jsonl"
+        out, crashes = run_to_completion(path, strategy_name, crash_after)
+        assert out.verified, f"crash point {crash_after} not verified"
+        assert set(out.replayed) | set(out.executed) == set(base.executed)
+        for stripe, buf in base.reconstructed.items():
+            assert np.array_equal(out.reconstructed[stripe], buf), (
+                f"crash point {crash_after}: stripe {stripe} bytes differ"
+            )
+        # Logical accounting matches the uninterrupted run exactly.
+        assert out.cross_rack_bytes == base.cross_rack_bytes, (
+            f"crash point {crash_after}"
+        )
+        replay = JournalReplay.load(path)
+        assert replay.complete
+        # The traffic bound: at most one in-flight stripe re-ships.
+        assert replay.total_cross_transfers <= (
+            base_cross + crashes * max_stripe_cross
+        ), f"crash point {crash_after} overshipped"

@@ -1,0 +1,122 @@
+"""Property-based resume idempotence under arbitrary crash chains.
+
+Hypothesis drives a *chain* of coordinator crashes: the first
+incarnation crashes after c1 records, the resume after c2 more, and so
+on, with a final crash-free resume.  Whatever the chain, the session
+must converge to the uninterrupted run's bytes, and the cross-rack
+transfers actually shipped may exceed the uninterrupted count by at
+most one in-flight stripe per crash.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.durable.journal import JournalReplay
+from repro.durable.session import RecoverySession
+from repro.errors import CoordinatorCrashError
+from repro.recovery import CarStrategy
+
+from tests.durable.conftest import build_failed_cluster
+
+STRIPES = 4
+CHUNK = 64
+
+#: seed -> (result, journal record count, cross transfers, max per-stripe
+#: cross transfers) of the uninterrupted run, computed once per seed.
+_BASELINES: dict[int, tuple] = {}
+
+
+def fresh_session(seed, path, crash_after=None):
+    state, event = build_failed_cluster(seed=seed, stripes=STRIPES,
+                                        chunk=CHUNK)
+    return state, RecoverySession(
+        state, event, CarStrategy(), path, crash_after_records=crash_after
+    )
+
+
+def baseline(seed, tmp_dir):
+    if seed not in _BASELINES:
+        path = tmp_dir / f"base{seed}.jsonl"
+        _, session = fresh_session(seed, path)
+        out = session.run()
+        replay = JournalReplay.load(path)
+        per_stripe = {}
+        for r in replay.records:
+            if r["rec"] == "stage" and r["stage"] == "cross_transfer":
+                per_stripe[r["stripe_id"]] = (
+                    per_stripe.get(r["stripe_id"], 0) + 1
+                )
+        _BASELINES[seed] = (
+            out,
+            len(replay.records),
+            replay.total_cross_transfers,
+            max(per_stripe.values(), default=0),
+        )
+    return _BASELINES[seed]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=7),
+    crash_points=st.lists(
+        st.integers(min_value=1, max_value=10), min_size=1, max_size=3
+    ),
+)
+def test_crash_chain_converges_byte_identical(seed, crash_points,
+                                              tmp_path_factory):
+    tmp_dir = tmp_path_factory.mktemp("chain")
+    base, _, base_cross, max_stripe_cross = baseline(seed, tmp_dir)
+    path = tmp_dir / "j.jsonl"
+
+    crashes = 0
+    out = None
+    for step, crash_after in enumerate([*crash_points, None]):
+        _, session = fresh_session(seed, path, crash_after=crash_after)
+        try:
+            out = session.run() if step == 0 else session.resume()
+            break
+        except CoordinatorCrashError:
+            crashes += 1
+    else:
+        # Every incarnation crashed; one clean resume must finish.
+        _, session = fresh_session(seed, path)
+        out = session.resume()
+
+    assert out.verified
+    assert set(out.replayed) | set(out.executed) == set(base.executed)
+    for stripe, buf in base.reconstructed.items():
+        assert np.array_equal(out.reconstructed[stripe], buf)
+    assert out.cross_rack_bytes == base.cross_rack_bytes
+    replay = JournalReplay.load(path)
+    assert replay.complete
+    assert replay.total_cross_transfers <= (
+        base_cross + crashes * max_stripe_cross
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=7),
+       crash_after=st.integers(min_value=1, max_value=30))
+def test_single_crash_resume_idempotent(seed, crash_after,
+                                        tmp_path_factory):
+    """Resume twice from the same journal: identical results, no extra
+    traffic the second time (the journal is already complete)."""
+    tmp_dir = tmp_path_factory.mktemp("idem")
+    path = tmp_dir / "j.jsonl"
+    _, session = fresh_session(seed, path, crash_after=crash_after)
+    try:
+        session.run()
+    except CoordinatorCrashError:
+        pass
+    _, session1 = fresh_session(seed, path)
+    first = session1.resume()
+    _, session2 = fresh_session(seed, path)
+    second = session2.resume()
+    assert first.verified and second.verified
+    assert second.live_cross_rack_bytes == 0  # pure replay
+    assert set(second.replayed) == (
+        set(first.replayed) | set(first.executed)
+    )
+    for stripe, buf in first.reconstructed.items():
+        assert np.array_equal(second.reconstructed[stripe], buf)

@@ -1,0 +1,94 @@
+"""Durability costs (journal appends, checksum verifies) in sim time."""
+
+import pytest
+
+from repro.cluster.failure import FailureInjector
+from repro.cluster.placement import RandomPlacementPolicy
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import ClusterTopology
+from repro.erasure.rs import RSCode
+from repro.network.links import FabricModel
+from repro.recovery.baselines import CarStrategy
+from repro.recovery.planner import plan_recovery
+from repro.sim import DurabilityCostModel, RecoverySimulator
+from repro.sim.hardware import HardwareModel
+from repro.sim.recovery_sim import build_tasks
+
+MB = 1 << 20
+
+
+def failed_cluster(seed=0, stripes=8):
+    code = RSCode(6, 3)
+    topo = ClusterTopology.from_rack_sizes([4, 3, 3, 3])
+    placement = RandomPlacementPolicy(rng=seed).place(topo, stripes, 6, 3)
+    state = ClusterState(topo, code, placement)
+    event = FailureInjector(rng=seed).fail_random_node(state)
+    return state, event
+
+
+def planned(seed=0):
+    state, event = failed_cluster(seed)
+    solution = CarStrategy().solve(state)
+    return state, plan_recovery(state, event, solution)
+
+
+class TestCostModel:
+    def test_verify_cost_scales_with_bytes(self):
+        model = DurabilityCostModel()
+        assert model.verify_seconds(4 * MB) == pytest.approx(
+            4 * MB / model.checksum_bytes_per_second
+        )
+        assert model.commit_seconds(4 * MB) == pytest.approx(
+            model.journal_append_seconds + model.verify_seconds(4 * MB)
+        )
+
+    def test_task_graph_gains_durable_tasks(self):
+        state, plan = planned()
+        fabric = FabricModel(state.topology)
+        hardware = HardwareModel(state.topology)
+        plain = build_tasks(state, plan, fabric, hardware, MB)
+        durable = build_tasks(
+            state, plan, fabric, hardware, MB,
+            durability=DurabilityCostModel(),
+        )
+        plain_tags = {t.tag for t in plain}
+        durable_tags = {t.tag for t in durable}
+        assert not any(tag.startswith("durable") for tag in plain_tags)
+        assert "durable:journal" in durable_tags
+        assert "durable:verify" in durable_tags
+        # Every stripe pays one intent and one commit append.
+        journal_tasks = [t for t in durable if t.tag == "durable:journal"]
+        assert len(journal_tasks) == 2 * len(plan.stripe_plans)
+
+
+class TestSimulatedTiming:
+    def test_durability_time_is_charged(self):
+        state, plan = planned()
+        plain = RecoverySimulator(state).simulate(plan, MB)
+        durable = RecoverySimulator(
+            state, durability=DurabilityCostModel()
+        ).simulate(plan, MB)
+        assert plain.durability_time == 0.0
+        assert durable.durability_time > 0.0
+        assert durable.total_time > plain.total_time
+
+    def test_durability_time_deterministic(self):
+        state, plan = planned()
+        model = DurabilityCostModel()
+        a = RecoverySimulator(state, durability=model).simulate(plan, MB)
+        b = RecoverySimulator(state, durability=model).simulate(plan, MB)
+        assert a.durability_time == b.durability_time
+        assert a.total_time == b.total_time
+
+    def test_costless_model_adds_no_time(self):
+        state, plan = planned()
+        free = DurabilityCostModel(
+            journal_append_seconds=0.0,
+            checksum_bytes_per_second=float("inf"),
+        )
+        plain = RecoverySimulator(state).simulate(plan, MB)
+        durable = RecoverySimulator(state, durability=free).simulate(
+            plan, MB
+        )
+        assert durable.durability_time == 0.0
+        assert durable.total_time == pytest.approx(plain.total_time)

@@ -124,3 +124,134 @@ class TestParallelValidation:
             {"CAR": lambda seed: CarStrategy()}
         )
         assert len(results) == 1
+
+
+class TestFaultArtifactPickling:
+    """Fault-layer objects must survive the worker pickle boundary.
+
+    Regression suite: ``RecoveryAbort``/``InjectedCrashError`` carry
+    required constructor arguments, and exceptions with such signatures
+    break default exception pickling unless ``__reduce__`` replays the
+    constructor.  A worker process raising (or returning) any of these
+    used to kill the whole parallel experiment with an opaque
+    ``TypeError`` instead of propagating the typed failure.
+    """
+
+    @staticmethod
+    def round_trip(obj):
+        import pickle
+
+        return pickle.loads(pickle.dumps(obj))
+
+    def test_fault_injector_round_trips(self):
+        from repro.faults import (
+            FaultInjector,
+            FaultKind,
+            FaultSpec,
+            PipelineStage,
+        )
+
+        injector = FaultInjector(
+            [FaultSpec(kind=FaultKind.FLOW_DROP,
+                       stage=PipelineStage.CROSS_TRANSFER, max_fires=2)],
+            seed=9,
+        )
+        clone = self.round_trip(injector)
+        assert clone._specs == injector._specs
+        assert clone.rng.getstate() == injector.rng.getstate()
+
+    def test_recovery_abort_round_trips(self):
+        from repro.faults import RecoveryAbort
+        from repro.faults.events import FaultLog
+
+        abort = RecoveryAbort("out of replans", FaultLog(),
+                              dead_nodes=frozenset({3, 5}))
+        clone = self.round_trip(abort)
+        assert clone.reason == "out of replans"
+        assert clone.dead_nodes == frozenset({3, 5})
+
+    def test_injected_crash_error_round_trips(self):
+        from repro.faults import FaultKind, InjectedCrashError, PipelineStage
+        from repro.faults.events import FaultEvent
+
+        event = FaultEvent(
+            kind=FaultKind.HELPER_CRASH,
+            stage=PipelineStage.DISK_READ,
+            stripe_id=2, node=4, rack=1, attempt=0,
+        )
+        clone = self.round_trip(InjectedCrashError(event))
+        assert clone.event == event
+
+    def test_coordinator_crash_error_round_trips(self):
+        from repro.errors import CoordinatorCrashError
+
+        err = CoordinatorCrashError("died", records_written=17)
+        clone = self.round_trip(err)
+        assert clone.records_written == 17
+        assert str(clone) == "died"
+
+    def test_robust_result_round_trips_from_worker(self):
+        """A full RobustExecutionResult crosses a real process boundary."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        result = _robust_result_in_worker(0)  # sanity: works in-process
+        assert result.verified
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            shipped = pool.submit(_robust_result_in_worker, 0).result()
+        assert shipped.verified
+        assert shipped.result.cross_rack_bytes == result.result.cross_rack_bytes
+        assert [f.kind for f in shipped.log.faults] == [
+            f.kind for f in result.log.faults
+        ]
+
+    def test_abort_propagates_from_worker(self):
+        """A worker's typed abort arrives intact, not as a pickle error."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.faults import RecoveryAbort
+
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            future = pool.submit(_abort_in_worker)
+            with pytest.raises(RecoveryAbort, match="unbounded") as excinfo:
+                future.result()
+        assert excinfo.value.log.faults
+
+
+def _robust_result_in_worker(seed):
+    """Module-level so ProcessPoolExecutor can pickle the callable."""
+    from repro.experiments.configs import build_state
+    from repro.cluster.failure import FailureInjector
+    from repro.faults import (
+        BackoffPolicy,
+        FaultInjector,
+        FaultKind,
+        FaultSpec,
+        recover_with_faults,
+    )
+    from repro.faults import PipelineStage
+    from repro.recovery import CarStrategy
+
+    state = build_state(CFS1, seed=seed, with_data=True, num_stripes=8)
+    event = FailureInjector(rng=seed).fail_random_node(state)
+    injector = FaultInjector(
+        [FaultSpec(kind=FaultKind.FLOW_DROP,
+                   stage=PipelineStage.CROSS_TRANSFER, max_fires=1)],
+        seed=5,
+    )
+    return recover_with_faults(
+        state, event, CarStrategy(), injector=injector,
+        backoff=BackoffPolicy(max_attempts=3),
+    )
+
+
+def _abort_in_worker():
+    from repro.faults import FaultKind, FaultLog, PipelineStage, RecoveryAbort
+    from repro.faults.events import FaultEvent
+
+    log = FaultLog()
+    log.record(FaultEvent(
+        kind=FaultKind.HELPER_CRASH, stage=PipelineStage.DISK_READ,
+        stripe_id=0, node=1, rack=0, attempt=0,
+    ))
+    raise RecoveryAbort("unbounded fault pressure", log,
+                        dead_nodes=frozenset({1}))
