@@ -1,0 +1,62 @@
+"""Benchmark: the regenerating-code sweep (CAR vs RR vs RackMSR vs Piggyback).
+
+Prints the sweep table — per-stripe cross-rack chunk units, analytic
+bounds, λ — and asserts the constructions' qualitative shape: zero
+bound violations anywhere, RackMSR exactly at its cut-set bound with
+perfect balance on aligned placements, Piggyback strictly cheaper than
+RR (it is RR with half-chunk savings piggybacked on).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import rack_aware_msr_cross_rack
+from repro.experiments.configs import ALL_CFS
+from repro.experiments.regen import run_regen_single
+from repro.experiments.report import render_regen
+
+
+@pytest.mark.parametrize("config", ALL_CFS, ids=lambda c: c.name)
+def test_regen_panel(benchmark, config, scale):
+    runs, stripes = scale
+    result = benchmark.pedantic(
+        run_regen_single,
+        kwargs={"config": config, "runs": runs, "num_stripes": stripes},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_regen([result]))
+    # Every measured per-stripe figure respects its analytic bound.
+    assert result.total_violations == 0
+    # RackMSR sits exactly on the rack-level cut-set bound.
+    msr = result.outcomes["RackMSR"]
+    expected = rack_aware_msr_cross_rack(1.0, result.kbar, result.dbar)
+    assert msr.per_stripe_units[0] == pytest.approx(expected)
+    assert msr.per_stripe_units[1] == pytest.approx(0.0)
+    # Piggyback strictly undercuts RR (same placement, half-chunk reads).
+    assert (
+        result.outcomes["Piggyback"].per_stripe_units[0]
+        < result.outcomes["RR"].per_stripe_units[0]
+    )
+    # Traffic scales linearly with chunk size.
+    series = msr.series
+    assert series.means[2] == pytest.approx(4 * series.means[0], rel=1e-9)
+
+
+def test_regen_rackmsr_beats_rr_everywhere(benchmark, scale):
+    """RackMSR's 2-chunk repair undercuts RR's k-chunk repair on every CFS."""
+    runs, stripes = scale
+
+    def run():
+        return [
+            run_regen_single(cfg, runs=runs, num_stripes=stripes)
+            for cfg in ALL_CFS
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for res in results:
+        assert (
+            res.outcomes["RackMSR"].per_stripe_units[0]
+            < res.outcomes["RR"].per_stripe_units[0]
+        )

@@ -31,6 +31,9 @@ __all__ = [
     "cut_set_capacity",
     "is_feasible",
     "tradeoff_curve",
+    "rack_aware_msr_cross_rack",
+    "piggyback_data_repair_cost",
+    "piggyback_average_repair_cost",
 ]
 
 
@@ -87,6 +90,70 @@ def is_feasible(
         raise ConfigurationError("d must be positive")
     beta = gamma / d
     return cut_set_capacity(alpha, beta, k, d) >= file_size - 1e-9
+
+
+def rack_aware_msr_cross_rack(alpha: float, kbar: int, dbar: int) -> float:
+    """Minimum cross-rack download per single-node repair for a
+    rack-aware MSR code (Chen & Barg, arXiv:1901.04419).
+
+    In the two-tier model (intra-rack transfer free, ``dbar`` helper
+    racks, rack-level reconstruction threshold ``kbar``) the rack-level
+    cut-set bound gives, at the minimum-storage point,
+
+        gamma_cross >= dbar * alpha / (dbar - kbar + 1)
+
+    for a node storing ``alpha`` (chunk units, symbols — any unit; the
+    result is in the same unit).  The striped product-matrix
+    construction in :class:`~repro.erasure.regenerating.RackAwareMSRCode`
+    meets this with equality at ``dbar = 2 kbar - 2``.
+
+    Args:
+        alpha: per-node storage.
+        kbar: racks needed to reconstruct.
+        dbar: helper racks contacted (``kbar <= dbar``).
+    """
+    if alpha < 0:
+        raise ConfigurationError(f"alpha must be non-negative, got {alpha}")
+    if kbar < 1 or dbar < kbar:
+        raise ConfigurationError(
+            f"need 1 <= kbar <= dbar, got kbar={kbar}, dbar={dbar}"
+        )
+    return dbar * alpha / (dbar - kbar + 1)
+
+
+def piggyback_data_repair_cost(k: int, group_size: int) -> float:
+    """Repair download for a data node of a piggybacked RS code, in
+    chunk units (Rashmi et al., arXiv:1309.0186).
+
+    A data node in a group of ``group_size`` downloads ``k - 1`` data
+    ``b``-halves, two parity halves, and ``group_size - 1`` peer
+    ``a``-halves: ``(k + group_size) / 2`` chunk units total, versus
+    ``k`` for plain RS.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if not 1 <= group_size <= k:
+        raise ConfigurationError(
+            f"need 1 <= group_size <= k, got group_size={group_size}"
+        )
+    return (k + group_size) / 2.0
+
+
+def piggyback_average_repair_cost(k: int, m: int) -> float:
+    """Mean data-node repair download for the balanced ``m - 1``-group
+    piggybacked layout, in chunk units."""
+    if m < 2:
+        raise ConfigurationError(f"piggybacking needs m >= 2, got {m}")
+    if k < m - 1:
+        raise ConfigurationError(
+            f"cannot split k={k} data chunks into {m - 1} groups"
+        )
+    base, extra = divmod(k, m - 1)
+    total = 0.0
+    for g in range(m - 1):
+        size = base + (1 if g < extra else 0)
+        total += size * piggyback_data_repair_cost(k, size)
+    return total / k
 
 
 def tradeoff_curve(

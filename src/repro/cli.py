@@ -68,7 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=[
             "fig7", "fig8", "fig9", "fig10", "ablation", "landscape",
-            "longrun", "degraded", "all", "trace", "metrics",
+            "longrun", "degraded", "regen", "all", "trace", "metrics",
             "scrub", "durable", "resume",
         ],
         help=(
@@ -148,6 +148,16 @@ def build_parser() -> argparse.ArgumentParser:
             "inject a coordinator crash after N journal records "
             "('durable'/'resume'); the process exits with status 3 and "
             "the journal is the resume point"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="FILE",
+        default=None,
+        help=(
+            "also write the experiment's results as JSON to FILE "
+            "(supported by 'regen'; the CI artifact)"
         ),
     )
     parser.add_argument(
@@ -236,6 +246,34 @@ def _run_fig9(args: argparse.Namespace) -> str:
 
 def _run_fig10(args: argparse.Namespace) -> str:
     return render_fig10(run_fig10(**_kwargs(args, default_runs=10)))
+
+
+def _run_regen(args: argparse.Namespace) -> str:
+    import json
+    from pathlib import Path
+
+    from repro.experiments.regen import regen_to_dict, run_regen
+    from repro.experiments.report import render_regen
+
+    kwargs = _kwargs(args, default_runs=50)
+    if args.telemetry is not None:
+        kwargs["telemetry"] = args.telemetry
+    results = run_regen(**kwargs)
+    out = render_regen(results)
+    if args.json_path is not None:
+        payload = regen_to_dict(results)
+        Path(args.json_path).parent.mkdir(parents=True, exist_ok=True)
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out += f"\n\nwrote JSON results to {args.json_path}"
+    return out + _maybe_plot(
+        args,
+        results,
+        "Regenerating codes: cross-rack traffic (MB) vs chunk size (MB)",
+        lambda r: [o.series for o in r.outcomes.values()],
+        "MB",
+    )
 
 
 def _run_landscape(args: argparse.Namespace) -> str:
@@ -476,6 +514,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "landscape": _run_landscape,
         "longrun": _run_longrun,
         "degraded": _run_degraded,
+        "regen": _run_regen,
         "trace": _run_trace,
         "metrics": _run_metrics,
         "scrub": _run_scrub,
@@ -488,7 +527,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 handlers[name](args)
                 for name in (
                     "fig7", "fig8", "fig9", "fig10", "ablation", "landscape",
-                    "longrun", "degraded",
+                    "longrun", "degraded", "regen",
                 )
             ]
             print("\n\n".join(outputs))

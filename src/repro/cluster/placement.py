@@ -36,6 +36,7 @@ __all__ = [
     "RoundRobinPlacementPolicy",
     "FlatPlacementPolicy",
     "GroupAlignedPlacementPolicy",
+    "RackAlignedPlacementPolicy",
 ]
 
 #: Identifies one chunk: (stripe_id, chunk_index within the stripe).
@@ -315,6 +316,78 @@ class FlatPlacementPolicy(PlacementPolicy):
         for stripe in range(num_stripes):
             for chunk_index, nid in enumerate(self.rng.sample(node_ids, n)):
                 assignment[(stripe, chunk_index)] = nid
+        return Placement(topology, k, m, assignment)
+
+
+class RackAlignedPlacementPolicy(PlacementPolicy):
+    """Rack-aligned placement for rack-aware regenerating codes.
+
+    The chunk -> rack map is *identical for every stripe*: chunks are
+    dealt round-robin over the racks (skipping racks whose per-stripe
+    capacity ``min(rack size, m)`` is exhausted), so chunk ``c`` always
+    lives in the same rack.  This is the geometry the striped rack-aware
+    MSR construction assumes — each rack plays the role of one code
+    node, and co-located chunks of a stripe are that node's ``alpha``
+    packets — and it lets a repair strategy pick helper *racks* knowing
+    exactly which chunk indices they hold.
+
+    Node choice inside each rack is randomised per stripe, so failures
+    still hit varied chunk positions across the stripe population.
+
+    The round-robin deal never puts more than ``m`` chunks of a stripe
+    in one rack, preserving single-rack fault tolerance whenever the
+    capacity check passes.
+
+    Args:
+        rng: source of randomness for the per-stripe node choice.
+    """
+
+    def __init__(self, rng: random.Random | int | None = None) -> None:
+        if isinstance(rng, int):
+            rng = random.Random(rng)
+        self.rng = rng or random.Random()
+
+    def chunk_rack_map(
+        self, topology: ClusterTopology, k: int, m: int
+    ) -> tuple[int, ...]:
+        """The shared chunk -> rack assignment for a ``(k, m)`` stripe."""
+        n = k + m
+        racks = sorted(topology.racks, key=lambda r: r.rack_id)
+        cap = {r.rack_id: min(r.size, m) for r in racks}
+        if sum(cap.values()) < n:
+            raise PlacementError(
+                f"racks hold at most {sum(cap.values())} chunks per stripe "
+                f"(cap m={m}), need {n}"
+            )
+        fill = {r.rack_id: 0 for r in racks}
+        order = [r.rack_id for r in racks]
+        out: list[int] = []
+        cursor = 0
+        while len(out) < n:
+            rid = order[cursor % len(order)]
+            cursor += 1
+            if fill[rid] < cap[rid]:
+                out.append(rid)
+                fill[rid] += 1
+        return tuple(out)
+
+    def place(
+        self, topology: ClusterTopology, num_stripes: int, k: int, m: int
+    ) -> Placement:
+        self._check_fits(topology, k, m)
+        rack_map = self.chunk_rack_map(topology, k, m)
+        per_rack_chunks: dict[int, list[int]] = {}
+        for c, rid in enumerate(rack_map):
+            per_rack_chunks.setdefault(rid, []).append(c)
+        rack_by_id = {r.rack_id: r for r in topology.racks}
+        assignment: dict[ChunkKey, int] = {}
+        for stripe in range(num_stripes):
+            for rid, chunks in per_rack_chunks.items():
+                nodes = self.rng.sample(
+                    list(rack_by_id[rid].node_ids), len(chunks)
+                )
+                for c, nid in zip(chunks, nodes):
+                    assignment[(stripe, c)] = nid
         return Placement(topology, k, m, assignment)
 
 

@@ -16,6 +16,8 @@ from repro.erasure.repair import (
     execute_partial_decode,
     split_repair_vector,
 )
+from repro.erasure.piggyback import PiggybackRSCode, balanced_groups
+from repro.erasure.regenerating import PMMSRCode, RackAwareMSRCode
 from repro.erasure.rs import RSCode, default_width_for
 
 __all__ = [
@@ -23,6 +25,10 @@ __all__ = [
     "LRCCode",
     "GFMatrix",
     "RSCode",
+    "PMMSRCode",
+    "RackAwareMSRCode",
+    "PiggybackRSCode",
+    "balanced_groups",
     "default_width_for",
     "AggregationGroup",
     "PartialDecodePlan",

@@ -22,6 +22,16 @@ Repair downloads ``d = 2(k - 1)`` symbols to rebuild ``alpha = k - 1``
 symbols: a **2x** blowup, versus the ``k x`` blowup of RS — the bound
 CAR's cross-rack traffic is compared against in the analysis bench.
 
+:class:`RackAwareMSRCode` lifts the construction to the paper's
+two-tier network (Chen & Barg, arXiv:1901.04419): code nodes are racks,
+each rack's content is striped over ``u`` physical nodes, and because
+every product-matrix operation is elementwise over packet positions,
+repairing one *node* runs the rack-level repair on that node's slice
+only.  Each of ``dbar`` helper racks ships exactly one packet across
+the core — meeting the rack-aware cut-set bound
+``dbar * alpha / (dbar - kbar + 1)`` with equality — while intra-rack
+reads are free, exactly the cost model CAR is built on.
+
 Symbols here are numpy buffers (packets), so all claims are verified on
 real bytes.
 """
@@ -41,7 +51,7 @@ from repro.erasure.matrix import GFMatrix
 from repro.gf.field import GaloisField, gf
 from repro.gf.vector import buffer_dtype, dot_rows
 
-__all__ = ["PMMSRCode"]
+__all__ = ["PMMSRCode", "RackAwareMSRCode"]
 
 
 class PMMSRCode:
@@ -307,8 +317,184 @@ class PMMSRCode:
         symbol: ``k`` (read k nodes' worth to rebuild one)."""
         return float(self.k)
 
+    def __reduce__(self):
+        # The field/Vandermonde state is derived from (n, k, w); rebuild
+        # from the constructor so instances ship cheaply to pool workers.
+        return (self.__class__, (self.n, self.k, self.w))
+
     def __repr__(self) -> str:
         return (
             f"PMMSRCode(n={self.n}, k={self.k}, d={self.d}, "
             f"alpha={self.alpha}, B={self.B}, w={self.w})"
+        )
+
+
+class RackAwareMSRCode:
+    """Rack-aware MSR code: a product-matrix MSR code over racks,
+    striped across the ``u`` nodes of each rack.
+
+    The two-tier model (Chen & Barg, arXiv:1901.04419): ``nbar`` racks
+    of ``u`` nodes each; intra-rack transfer is free, only cross-rack
+    packets count.  Rack ``i`` plays code node ``i`` of a
+    :class:`PMMSRCode` ``(nbar, kbar)`` with ``dbar = 2 kbar - 2``.  The
+    rack's ``alpha = kbar - 1`` super-symbols are striped so node ``j``
+    of every rack holds packet-slice ``j`` — i.e. ``u`` independent
+    product-matrix instances run side by side, instance ``j`` living
+    entirely on the ``j``-th node of each rack.
+
+    Repairing one *node* ``(rack f, slot j)`` therefore runs the
+    rack-level repair on instance ``j`` alone: node ``j`` of each of
+    ``dbar`` helper racks computes its repair symbol locally (free) and
+    ships **one packet** across the core.  Cross-rack download is
+    ``dbar`` packets for ``alpha`` packets rebuilt — exactly the
+    rack-aware MSR bound ``dbar * alpha / (dbar - kbar + 1)`` with
+    equality, and no intra-rack traffic at all.
+
+    Any ``kbar`` complete racks reconstruct the whole stripe (the code
+    is MDS over racks, not over arbitrary nodes — losing a full rack
+    costs one code node).
+
+    Args:
+        nbar: number of racks (``nbar > 2 kbar - 2``).
+        kbar: rack-level reconstruction threshold (``kbar >= 2``).
+        u: nodes per rack (stripe slices).
+        w: GF(2^w) width.
+
+    Attributes:
+        dbar: helper racks contacted per repair.
+        alpha: packets stored per node.
+        B: message packets per stripe (``u * kbar * (kbar - 1)``).
+    """
+
+    def __init__(self, nbar: int, kbar: int, u: int, w: int = 8) -> None:
+        if u < 1:
+            raise InvalidCodeParametersError(
+                f"rack-aware MSR needs u >= 1 nodes per rack, got {u}"
+            )
+        self.rack_code = PMMSRCode(nbar, kbar, w)
+        self.nbar = nbar
+        self.kbar = kbar
+        self.u = u
+        self.w = w
+        self.dbar = self.rack_code.d
+        self.alpha = self.rack_code.alpha
+        self.B = self.rack_code.B * u
+
+    @property
+    def num_nodes(self) -> int:
+        """Physical nodes across all racks."""
+        return self.nbar * self.u
+
+    # -- encode ------------------------------------------------------------
+
+    def encode(
+        self, packets: Sequence[np.ndarray]
+    ) -> list[list[list[np.ndarray]]]:
+        """Encode ``B`` message packets into per-node contents.
+
+        Message packet ``b * u + j`` belongs to stripe instance ``j``.
+        Returns ``contents[rack][slot]`` = that node's ``alpha`` packets.
+        """
+        if len(packets) != self.B:
+            raise CodingError(
+                f"rack-aware MSR encodes exactly B={self.B} packets, "
+                f"got {len(packets)}"
+            )
+        per_instance: list[list[list[np.ndarray]]] = [
+            self.rack_code.encode(list(packets[j :: self.u]))
+            for j in range(self.u)
+        ]
+        return [
+            [per_instance[j][rack] for j in range(self.u)]
+            for rack in range(self.nbar)
+        ]
+
+    # -- decode (any kbar complete racks) -----------------------------------
+
+    def decode(
+        self, racks: Mapping[int, Sequence[Sequence[np.ndarray]]]
+    ) -> list[np.ndarray]:
+        """Reconstruct all ``B`` packets from any ``kbar`` rack contents.
+
+        Args:
+            racks: rack id -> that rack's ``u x alpha`` content grid.
+        """
+        if len(racks) < self.kbar:
+            raise InsufficientChunksError(
+                f"decode needs kbar={self.kbar} racks, got {len(racks)}"
+            )
+        for rack, grid in racks.items():
+            if len(grid) != self.u:
+                raise CodingError(
+                    f"rack {rack} content must have u={self.u} node slots"
+                )
+        out: list[np.ndarray | None] = [None] * self.B
+        for j in range(self.u):
+            instance = self.rack_code.decode(
+                {rack: list(grid[j]) for rack, grid in racks.items()}
+            )
+            for b, packet in enumerate(instance):
+                out[b * self.u + j] = packet
+        return [p for p in out if p is not None]
+
+    # -- repair ------------------------------------------------------------
+
+    def repair_symbol(
+        self,
+        helper_rack: int,
+        failed_rack: int,
+        slot: int,
+        helper_node_content: Sequence[np.ndarray],
+    ) -> np.ndarray:
+        """The one packet node ``(helper_rack, slot)`` ships cross-rack.
+
+        Computed entirely from that node's own ``alpha`` packets — no
+        intra-rack gathering is needed, so a single-node repair costs
+        **zero** intra-rack traffic on the helper side.
+        """
+        if not 0 <= slot < self.u:
+            raise CodingError(f"slot {slot} out of range for u={self.u}")
+        return self.rack_code.repair_symbol(
+            helper_rack, failed_rack, list(helper_node_content)
+        )
+
+    def repair_node(
+        self, failed_rack: int, slot: int, symbols: Mapping[int, np.ndarray]
+    ) -> list[np.ndarray]:
+        """Rebuild node ``(failed_rack, slot)`` from ``dbar`` helper packets.
+
+        Args:
+            symbols: helper rack -> the packet from :meth:`repair_symbol`.
+
+        Returns:
+            The node's ``alpha`` content packets, byte-identical to what
+            :meth:`encode` placed there.
+        """
+        if not 0 <= slot < self.u:
+            raise CodingError(f"slot {slot} out of range for u={self.u}")
+        return self.rack_code.repair(failed_rack, symbols)
+
+    # -- metrics ------------------------------------------------------------
+
+    def cross_rack_repair_packets(self) -> int:
+        """Packets crossing the core per single-node repair: ``dbar``."""
+        return self.dbar
+
+    def cross_rack_chunk_units(self) -> float:
+        """Cross-rack download per repair in node-chunk units:
+        ``dbar / alpha`` (= 2 at the ``dbar = 2 kbar - 2`` point)."""
+        return self.dbar / self.alpha
+
+    def storage_overhead(self) -> float:
+        """Raw-to-useful storage ratio: ``nbar / kbar``."""
+        return self.nbar / self.kbar
+
+    def __reduce__(self):
+        return (self.__class__, (self.nbar, self.kbar, self.u, self.w))
+
+    def __repr__(self) -> str:
+        return (
+            f"RackAwareMSRCode(nbar={self.nbar}, kbar={self.kbar}, "
+            f"u={self.u}, dbar={self.dbar}, alpha={self.alpha}, "
+            f"B={self.B}, w={self.w})"
         )

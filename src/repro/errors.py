@@ -24,6 +24,8 @@ __all__ = [
     "NoFailureError",
     "RecoveryError",
     "NoValidSolutionError",
+    "StrategyError",
+    "annotate_strategy",
     "PlanError",
     "IntegrityError",
     "JournalError",
@@ -112,6 +114,51 @@ class RecoveryError(ReproError):
 
 class NoValidSolutionError(RecoveryError):
     """No valid per-stripe recovery solution exists (data loss)."""
+
+
+class StrategyError(RecoveryError):
+    """A recovery strategy cannot run on the given cluster state.
+
+    Raised when a strategy's structural requirements are violated (for
+    example a rack-aware regenerating strategy on a placement that is
+    not rack-aligned).  Always carries the strategy name so failures in
+    multi-strategy experiments are diagnosable.
+
+    Attributes:
+        strategy: name of the strategy that failed.
+    """
+
+    def __init__(self, message: str, strategy: str = "") -> None:
+        super().__init__(
+            f"[{strategy}] {message}" if strategy else message
+        )
+        self.strategy = strategy
+
+    def __reduce__(self):
+        # Re-running __init__ with self.args would re-prefix the name;
+        # rebuild from the formatted message with no strategy and
+        # restore the attribute via state instead.
+        return (_rebuild_strategy_error, (self.args[0], self.strategy))
+
+
+def _rebuild_strategy_error(message: str, strategy: str) -> StrategyError:
+    err = StrategyError(message)
+    err.strategy = strategy
+    return err
+
+
+def annotate_strategy(exc: BaseException, strategy: str) -> None:
+    """Attach a strategy name to an in-flight exception.
+
+    Every :meth:`RecoveryStrategy.solve` routes escaping
+    :class:`ReproError`\\ s through here, so a failure inside a
+    multi-strategy experiment always names the strategy that raised it
+    (as an ``strategy`` attribute and an exception note) without
+    changing the exception's type or message.
+    """
+    if not getattr(exc, "strategy", ""):
+        exc.strategy = strategy  # type: ignore[attr-defined]
+        exc.add_note(f"strategy: {strategy}")
 
 
 class PlanError(RecoveryError):

@@ -31,8 +31,17 @@ from repro.experiments.factories import (
     CarFactory,
     EnumerationFactory,
     MinRackNoAggFactory,
+    PiggybackFactory,
+    RackMSRFactory,
     RandomAggregatedFactory,
     RandomRecoveryFactory,
+)
+from repro.experiments.regen import (
+    RegenResult,
+    StrategyOutcome,
+    regen_to_dict,
+    run_regen,
+    run_regen_single,
 )
 from repro.experiments.runner import ExperimentRunner, RunResult, Series, mean_std
 
@@ -75,4 +84,11 @@ __all__ = [
     "run_oversubscription_sweep",
     "GreedyVsOptimalResult",
     "run_greedy_vs_optimal",
+    "RackMSRFactory",
+    "PiggybackFactory",
+    "RegenResult",
+    "StrategyOutcome",
+    "run_regen",
+    "run_regen_single",
+    "regen_to_dict",
 ]

@@ -12,7 +12,10 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.cluster.placement import RandomPlacementPolicy
+from repro.cluster.placement import (
+    RackAlignedPlacementPolicy,
+    RandomPlacementPolicy,
+)
 from repro.cluster.state import ClusterState, DataStore
 from repro.cluster.topology import BandwidthProfile, ClusterTopology
 from repro.erasure.rs import RSCode
@@ -101,6 +104,7 @@ def build_state(
     with_data: bool = False,
     chunk_size: int = 4096,
     num_stripes: int | None = None,
+    placement_policy: str = "random",
 ) -> ClusterState:
     """Construct a cluster state per the paper's methodology.
 
@@ -111,11 +115,22 @@ def build_state(
             experiment executes and verifies reconstructions).
         chunk_size: byte size for the data store when ``with_data``.
         num_stripes: override the config's stripe count.
+        placement_policy: ``"random"`` (the paper's methodology) or
+            ``"rack_aligned"`` (the deterministic chunk -> rack layout
+            rack-aware regenerating strategies assume).
     """
     stripes = num_stripes if num_stripes is not None else config.num_stripes
     topology = config.topology()
     code = config.code()
-    policy = RandomPlacementPolicy(rng=random.Random(seed))
+    if placement_policy == "random":
+        policy = RandomPlacementPolicy(rng=random.Random(seed))
+    elif placement_policy == "rack_aligned":
+        policy = RackAlignedPlacementPolicy(rng=random.Random(seed))
+    else:
+        raise ConfigurationError(
+            f"unknown placement policy {placement_policy!r} "
+            f"(expected 'random' or 'rack_aligned')"
+        )
     placement = policy.place(topology, stripes, config.k, config.m)
     data = (
         DataStore(code, stripes, chunk_size=chunk_size, seed=seed)

@@ -23,6 +23,7 @@ from repro.recovery.baselines import (
     RandomRecoveryStrategy,
     RecoveryStrategy,
 )
+from repro.recovery.regenerating import PiggybackStrategy, RackAwareMSRStrategy
 
 __all__ = [
     "CarFactory",
@@ -30,6 +31,8 @@ __all__ = [
     "MinRackNoAggFactory",
     "RandomAggregatedFactory",
     "EnumerationFactory",
+    "RackMSRFactory",
+    "PiggybackFactory",
 ]
 
 
@@ -72,6 +75,28 @@ class RandomAggregatedFactory:
 
     def __call__(self, seed: int) -> RecoveryStrategy:
         return RandomAggregatedStrategy(rng=seed)
+
+
+@dataclass(frozen=True)
+class RackMSRFactory:
+    """Builds the rack-aware MSR strategy (deterministic; seed unused).
+
+    ``kbar=None`` derives the largest feasible rack-level threshold
+    from the topology at solve time.
+    """
+
+    kbar: int | None = None
+
+    def __call__(self, seed: int) -> RecoveryStrategy:
+        return RackAwareMSRStrategy(kbar=self.kbar)
+
+
+@dataclass(frozen=True)
+class PiggybackFactory:
+    """Builds the piggybacked-RS strategy (deterministic; seed unused)."""
+
+    def __call__(self, seed: int) -> RecoveryStrategy:
+        return PiggybackStrategy()
 
 
 @dataclass(frozen=True)

@@ -89,16 +89,23 @@ class Series:
         """(mean, std) at a given x.
 
         Raises:
-            ValueError: if ``x`` is not one of the series' x values.
+            ConfigurationError: if ``x`` is not one of the series' x
+                values (a :class:`ValueError`, for compatibility).
         """
-        idx = self.xs.index(x)
+        try:
+            idx = self.xs.index(x)
+        except ValueError:
+            raise ConfigurationError(
+                f"series {self.label!r} has no point at x={x} "
+                f"(xs={self.xs})"
+            ) from None
         return self.means[idx], self.stds[idx]
 
 
 def mean_std(values: Sequence[float]) -> tuple[float, float]:
     """Mean and (population-0-safe) standard deviation of a sample."""
     if not values:
-        raise ValueError("cannot summarise an empty sample")
+        raise ConfigurationError("cannot summarise an empty sample")
     mean = statistics.fmean(values)
     std = statistics.stdev(values) if len(values) > 1 else 0.0
     if math.isnan(std):  # pragma: no cover - stdev never returns NaN here
@@ -122,6 +129,10 @@ class ExperimentRunner:
             annotated with its run index) and ``metrics.json`` (the
             per-run registries merged in run order — identical for any
             worker count) into the directory.
+        placement_policy: forwarded to
+            :func:`~repro.experiments.configs.build_state` — the regen
+            experiment runs its rack-aware MSR arm on the
+            ``"rack_aligned"`` layout.
     """
 
     def __init__(
@@ -131,12 +142,14 @@ class ExperimentRunner:
         base_seed: int = 20160628,
         num_stripes: int | None = None,
         telemetry: str | Path | None = None,
+        placement_policy: str = "random",
     ) -> None:
         self.config = config
         self.runs = runs
         self.base_seed = base_seed
         self.num_stripes = num_stripes
         self.telemetry = Path(telemetry) if telemetry is not None else None
+        self.placement_policy = placement_policy
 
     def run_all(
         self,
@@ -271,7 +284,8 @@ class ExperimentRunner:
         )
         with span:
             state = build_state(
-                self.config, seed, num_stripes=self.num_stripes
+                self.config, seed, num_stripes=self.num_stripes,
+                placement_policy=self.placement_policy,
             )
             injector = FailureInjector(rng=seed)
             event = injector.fail_random_node(state)

@@ -33,7 +33,16 @@ from repro.recovery.selector import (
     iter_valid_rack_sets,
     min_racks_needed,
 )
-from repro.recovery.solution import MultiStripeSolution, PerStripeSolution
+from repro.recovery.regenerating import (
+    PiggybackStrategy,
+    RackAwareMSRStrategy,
+    rack_msr_params,
+)
+from repro.recovery.solution import (
+    MultiStripeSolution,
+    PerStripeSolution,
+    WeightedStripeSolution,
+)
 from repro.recovery.weighted import (
     BandwidthAwareBalancer,
     WeightedBalanceTrace,
@@ -75,6 +84,10 @@ __all__ = [
     "min_racks_needed",
     "MultiStripeSolution",
     "PerStripeSolution",
+    "WeightedStripeSolution",
+    "RackAwareMSRStrategy",
+    "PiggybackStrategy",
+    "rack_msr_params",
     "BandwidthAwareBalancer",
     "WeightedBalanceTrace",
     "drain_times",

@@ -18,11 +18,17 @@ into a :class:`~repro.recovery.solution.MultiStripeSolution`:
 from __future__ import annotations
 
 import abc
+import functools
 import itertools
 import random
 
 from repro.cluster.state import ClusterState, StripeView
-from repro.errors import NoValidSolutionError, RecoveryError
+from repro.errors import (
+    NoValidSolutionError,
+    RecoveryError,
+    ReproError,
+    annotate_strategy,
+)
 from repro.recovery.balancer import BalanceTrace, GreedyLoadBalancer
 from repro.recovery.selector import CarSelector, build_solution
 from repro.recovery.solution import MultiStripeSolution, PerStripeSolution
@@ -44,6 +50,29 @@ class RecoveryStrategy(abc.ABC):
     name: str = "abstract"
     #: Whether intra-rack aggregation applies to this strategy's traffic.
     aggregated: bool = False
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        # Wrap each concrete solve() so any escaping library error names
+        # the strategy that raised it (multi-strategy experiments would
+        # otherwise surface anonymous failures).  Types and messages are
+        # preserved; the name rides along as an attribute + note.
+        super().__init_subclass__(**kwargs)
+        solve = cls.__dict__.get("solve")
+        if solve is None or getattr(solve, "__isabstractmethod__", False):
+            return
+        if getattr(solve, "_annotates_strategy", False):
+            return
+
+        @functools.wraps(solve)
+        def wrapped(self, *args, **kw):
+            try:
+                return solve(self, *args, **kw)
+            except ReproError as exc:
+                annotate_strategy(exc, getattr(self, "name", cls.name))
+                raise
+
+        wrapped._annotates_strategy = True
+        cls.solve = wrapped
 
     @abc.abstractmethod
     def solve(self, state: ClusterState) -> MultiStripeSolution:

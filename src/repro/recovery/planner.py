@@ -43,6 +43,9 @@ class Transfer:
         src_rack / dst_rack: their racks (cached for the simulator).
         chunk_index: the stripe-local chunk carried, or None when the
             payload is a partially decoded chunk.
+        volume: payload size as a fraction of one chunk (1.0 for plain
+            chunk/partial flows; regenerating strategies ship sub-chunk
+            packets).
     """
 
     stripe_id: int
@@ -51,6 +54,7 @@ class Transfer:
     src_rack: int
     dst_rack: int
     chunk_index: int | None
+    volume: float = 1.0
 
     @property
     def cross_rack(self) -> bool:
@@ -153,6 +157,25 @@ class RecoveryPlan:
                 out[t.src_rack] += 1
         return out
 
+    def cross_rack_volume(self) -> float:
+        """Cross-rack traffic in (fractional) chunk units — equals
+        :meth:`cross_rack_chunks` for plans of full-chunk strategies."""
+        return sum(t.volume for t in self.all_transfers() if t.cross_rack)
+
+    def intra_rack_volume(self) -> float:
+        """Intra-rack traffic in (fractional) chunk units."""
+        return sum(
+            t.volume for t in self.all_transfers() if not t.cross_rack
+        )
+
+    def cross_rack_volume_by_rack(self, num_racks: int) -> list[float]:
+        """Cross-rack chunk units sourced from each rack."""
+        out = [0.0] * num_racks
+        for t in self.all_transfers():
+            if t.cross_rack:
+                out[t.src_rack] += t.volume
+        return out
+
 
 def plan_recovery(
     state: ClusterState,
@@ -229,6 +252,10 @@ def _plan_stripe_aggregated(
     compute: list[ComputeTask] = []
     delegates: dict[int, int] = {}
     partials_at_repl = 0
+    # Per-rack cross-rack payload in chunk units: 1 per intact rack for
+    # plain aggregated solutions, fractional for weighted (regenerating)
+    # solutions.
+    units = sol.cross_rack_chunks(True)
 
     for rack in sorted(sol.chunks_by_rack):
         chunks = sol.chunks_from_rack(rack)
@@ -291,6 +318,7 @@ def _plan_stripe_aggregated(
                 src_rack=rack,
                 dst_rack=repl_rack,
                 chunk_index=None,
+                volume=float(units.get(rack, 1)),
             )
         )
         partials_at_repl += 1
@@ -321,8 +349,13 @@ def _plan_stripe_direct(
     repl = event.replacement_node
     repl_rack = state.topology.rack_of(repl)
     transfers: list[Transfer] = []
+    units = sol.cross_rack_chunks(False)
     for rack in sorted(sol.chunks_by_rack):
-        for c in sol.chunks_from_rack(rack):
+        chunks = sol.chunks_from_rack(rack)
+        # Weighted solutions ship sub-chunk payloads; split the rack's
+        # chunk-unit total evenly so per-rack volumes stay exact.
+        volume = units.get(rack, len(chunks)) / len(chunks)
+        for c in chunks:
             node = _holder(state, sol, c, dead_nodes)
             transfers.append(
                 Transfer(
@@ -332,6 +365,7 @@ def _plan_stripe_direct(
                     src_rack=rack,
                     dst_rack=repl_rack,
                     chunk_index=c,
+                    volume=volume,
                 )
             )
     compute = (

@@ -21,11 +21,11 @@ counted as cross-rack traffic.
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import RecoveryError
 
-__all__ = ["PerStripeSolution", "MultiStripeSolution"]
+__all__ = ["PerStripeSolution", "WeightedStripeSolution", "MultiStripeSolution"]
 
 
 @dataclass(frozen=True)
@@ -112,6 +112,53 @@ class PerStripeSolution:
             for rack, chunks in self.chunks_by_rack.items()
             for c in chunks
         }
+
+
+@dataclass(frozen=True)
+class WeightedStripeSolution(PerStripeSolution):
+    """A per-stripe solution whose cross-rack payloads are fractional.
+
+    Regenerating-code strategies ship sub-chunk payloads: a rack-aware
+    MSR helper rack sends one ``beta``-sized packet
+    (``1 / (kbar - 1)`` of a chunk), a piggybacked-RS helper ships
+    half-chunks.  ``rack_units`` records, per intact rack, how many
+    *chunk units* actually cross the core, overriding the integral
+    chunk/partial accounting of :class:`PerStripeSolution` while
+    keeping every other part of the solution/planner interface (rack
+    grouping, λ, substitution bookkeeping) unchanged.
+
+    Attributes:
+        rack_units: intact rack id -> cross-rack chunk units shipped.
+            Racks absent from the mapping (and the failed rack) ship
+            nothing across the core.
+    """
+
+    rack_units: Mapping[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for rack, units in self.rack_units.items():
+            if rack == self.failed_rack:
+                raise RecoveryError(
+                    f"stripe {self.stripe_id}: the failed rack {rack} "
+                    f"cannot source cross-rack traffic"
+                )
+            if rack not in self.chunks_by_rack:
+                raise RecoveryError(
+                    f"stripe {self.stripe_id}: rack {rack} ships "
+                    f"{units} units but retrieves no chunks"
+                )
+            if units < 0:
+                raise RecoveryError(
+                    f"stripe {self.stripe_id}: negative cross-rack "
+                    f"units for rack {rack}"
+                )
+
+    def cross_rack_chunks(self, aggregated: bool) -> dict[int, float]:
+        """Cross-rack traffic per intact rack, in (fractional) chunk
+        units — ``aggregated`` is irrelevant once exact payload sizes
+        are known."""
+        return dict(self.rack_units)
 
 
 class MultiStripeSolution:

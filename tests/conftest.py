@@ -1,12 +1,31 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus Hypothesis profiles.
+
+Profiles (select with ``HYPOTHESIS_PROFILE=<name>``):
+
+- ``default``: Hypothesis defaults (random seeds, local dev).
+- ``ci``: derandomized with a fixed example budget, so property suites
+  are reproducible run-to-run on CI (the ``regen-smoke`` job pins this).
+- ``thorough``: a larger randomized budget for occasional deep local runs.
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings
 
 from repro.cluster.placement import RandomPlacementPolicy
+
+settings.register_profile("default", settings())
+settings.register_profile(
+    "ci", settings(derandomize=True, max_examples=50, deadline=None)
+)
+settings.register_profile(
+    "thorough", settings(max_examples=500, deadline=None)
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 from repro.cluster.state import ClusterState, DataStore
 from repro.cluster.topology import ClusterTopology
 from repro.erasure.rs import RSCode

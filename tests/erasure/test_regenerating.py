@@ -1,6 +1,15 @@
-"""Tests for the product-matrix MSR regenerating code."""
+"""Tests for the product-matrix MSR regenerating codes.
 
+Covers the flat :class:`PMMSRCode` (parameter validation, the
+degenerate ``d = k`` point at ``k = 2``), the two-tier
+:class:`RackAwareMSRCode`, and pickling both across a real
+``ProcessPoolExecutor`` — the experiment driver ships codes to pool
+workers via ``__reduce__``.
+"""
+
+import pickle
 import random
+from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 import pytest
@@ -12,7 +21,7 @@ from repro.errors import (
     InsufficientChunksError,
     InvalidCodeParametersError,
 )
-from repro.erasure.regenerating import PMMSRCode
+from repro.erasure.regenerating import PMMSRCode, RackAwareMSRCode
 
 
 @pytest.fixture(scope="module")
@@ -163,3 +172,201 @@ class TestRepair:
         """MSR's point: d packets to repair one node vs B packets to
         decode everything (what naive RS repair would fetch)."""
         assert code.d < code.B
+
+
+class TestDegenerateK2:
+    """k = 2 is the floor: d = 2k - 2 = 2 = k, alpha = 1, B = 2.
+
+    Repair contacts exactly as many helpers as a decode would read —
+    the MSR saving vanishes but every operation must still hold.
+    """
+
+    @pytest.fixture(scope="class")
+    def k2(self):
+        return PMMSRCode(n=4, k=2)
+
+    def test_parameters_collapse(self, k2):
+        assert k2.d == k2.k == 2
+        assert k2.alpha == 1
+        assert k2.B == 2
+        assert k2.repair_traffic_ratio() == pytest.approx(2.0)
+
+    def test_roundtrip(self, k2):
+        rng = np.random.default_rng(9)
+        packets = [
+            rng.integers(0, 256, 16, dtype=np.uint8) for _ in range(k2.B)
+        ]
+        contents = k2.encode(packets)
+        decoded = k2.decode({0: contents[0], 2: contents[2]})
+        for a, b in zip(decoded, packets):
+            assert np.array_equal(a, b)
+        for failed in range(k2.n):
+            helpers = [i for i in range(k2.n) if i != failed][: k2.d]
+            symbols = {
+                h: k2.repair_symbol(h, failed, contents[h]) for h in helpers
+            }
+            rebuilt = k2.repair(failed, symbols)
+            assert np.array_equal(rebuilt[0], contents[failed][0])
+
+
+def _roundtrip_worker(code, seed):
+    """Pool worker: encode then repair node 0; True on byte identity."""
+    rng = np.random.default_rng(seed)
+    packets = [
+        rng.integers(0, 256, 8, dtype=np.uint8) for _ in range(code.B)
+    ]
+    if isinstance(code, RackAwareMSRCode):
+        contents = code.encode(packets)
+        helpers = list(range(1, 1 + code.dbar))
+        for slot in range(code.u):
+            symbols = {
+                h: code.repair_symbol(h, 0, slot, contents[h][slot])
+                for h in helpers
+            }
+            rebuilt = code.repair_node(0, slot, symbols)
+            if not all(
+                np.array_equal(a, b)
+                for a, b in zip(rebuilt, contents[0][slot])
+            ):
+                return False
+        return True
+    contents = code.encode(packets)
+    helpers = list(range(1, 1 + code.d))
+    symbols = {h: code.repair_symbol(h, 0, contents[h]) for h in helpers}
+    rebuilt = code.repair(0, symbols)
+    return all(np.array_equal(a, b) for a, b in zip(rebuilt, contents[0]))
+
+
+class TestPickling:
+    @pytest.mark.parametrize(
+        "code",
+        [PMMSRCode(n=7, k=3), RackAwareMSRCode(nbar=5, kbar=2, u=3)],
+        ids=["pm-msr", "rack-aware"],
+    )
+    def test_reduce_roundtrip(self, code):
+        clone = pickle.loads(pickle.dumps(code))
+        assert repr(clone) == repr(code)
+
+    def test_codes_work_in_pool_workers(self):
+        codes = [PMMSRCode(n=7, k=3), RackAwareMSRCode(nbar=5, kbar=2, u=2)]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [
+                pool.submit(_roundtrip_worker, code, seed)
+                for seed, code in enumerate(codes)
+            ]
+            assert all(f.result() for f in futures)
+
+
+class TestRackAwareParameters:
+    def test_derived_parameters(self):
+        code = RackAwareMSRCode(nbar=5, kbar=3, u=4)
+        assert code.dbar == 4
+        assert code.alpha == 2
+        assert code.B == 3 * 2 * 4
+        assert code.num_nodes == 20
+
+    def test_u_must_be_positive(self):
+        with pytest.raises(InvalidCodeParametersError):
+            RackAwareMSRCode(nbar=5, kbar=2, u=0)
+
+    def test_nbar_must_exceed_dbar(self):
+        # kbar = 3 -> dbar = 4, so nbar = 4 racks are too few.
+        with pytest.raises(InvalidCodeParametersError):
+            RackAwareMSRCode(nbar=4, kbar=3, u=2)
+
+    def test_kbar_too_small(self):
+        with pytest.raises(InvalidCodeParametersError):
+            RackAwareMSRCode(nbar=4, kbar=1, u=2)
+
+    def test_metrics(self):
+        code = RackAwareMSRCode(nbar=5, kbar=3, u=2)
+        assert code.cross_rack_repair_packets() == 4
+        assert code.cross_rack_chunk_units() == pytest.approx(2.0)
+        assert code.storage_overhead() == pytest.approx(5 / 3)
+
+    def test_repr(self):
+        assert "RackAwareMSRCode(nbar=5, kbar=2" in repr(
+            RackAwareMSRCode(nbar=5, kbar=2, u=2)
+        )
+
+
+class TestRackAwareCoding:
+    @pytest.fixture(scope="class")
+    def rcode(self):
+        return RackAwareMSRCode(nbar=5, kbar=3, u=3)
+
+    @pytest.fixture(scope="class")
+    def rencoded(self, rcode):
+        rng = np.random.default_rng(13)
+        packets = [
+            rng.integers(0, 256, 24, dtype=np.uint8)
+            for _ in range(rcode.B)
+        ]
+        return packets, rcode.encode(packets)
+
+    def test_encode_shape(self, rcode, rencoded):
+        _, contents = rencoded
+        assert len(contents) == rcode.nbar
+        for rack in contents:
+            assert len(rack) == rcode.u
+            for node in rack:
+                assert len(node) == rcode.alpha
+
+    def test_encode_wrong_packet_count(self, rcode):
+        with pytest.raises(CodingError):
+            rcode.encode([np.zeros(8, dtype=np.uint8)] * (rcode.B - 1))
+
+    def test_decode_any_kbar_racks(self, rcode, rencoded):
+        packets, contents = rencoded
+        random.seed(3)
+        for _ in range(5):
+            racks = random.sample(range(rcode.nbar), rcode.kbar)
+            decoded = rcode.decode({r: contents[r] for r in racks})
+            for a, b in zip(decoded, packets):
+                assert np.array_equal(a, b), racks
+
+    def test_decode_too_few_racks(self, rcode, rencoded):
+        _, contents = rencoded
+        with pytest.raises(InsufficientChunksError):
+            rcode.decode({0: contents[0]})
+
+    def test_decode_malformed_rack(self, rcode, rencoded):
+        _, contents = rencoded
+        bad = {r: contents[r] for r in range(rcode.kbar)}
+        bad[0] = contents[0][:1]  # only one node slot instead of u
+        with pytest.raises(CodingError):
+            rcode.decode(bad)
+
+    def test_repair_every_node(self, rcode, rencoded):
+        _, contents = rencoded
+        random.seed(4)
+        for failed in range(rcode.nbar):
+            helpers = random.sample(
+                [r for r in range(rcode.nbar) if r != failed], rcode.dbar
+            )
+            for slot in range(rcode.u):
+                symbols = {
+                    h: rcode.repair_symbol(
+                        h, failed, slot, contents[h][slot]
+                    )
+                    for h in helpers
+                }
+                rebuilt = rcode.repair_node(failed, slot, symbols)
+                for a, b in zip(rebuilt, contents[failed][slot]):
+                    assert np.array_equal(a, b), (failed, slot)
+
+    def test_slot_out_of_range(self, rcode, rencoded):
+        _, contents = rencoded
+        with pytest.raises(CodingError):
+            rcode.repair_symbol(1, 0, rcode.u, contents[1][0])
+        with pytest.raises(CodingError):
+            rcode.repair_node(0, -1, {})
+
+    def test_wrong_helper_count(self, rcode, rencoded):
+        _, contents = rencoded
+        symbols = {
+            h: rcode.repair_symbol(h, 0, 0, contents[h][0])
+            for h in range(1, rcode.dbar)
+        }
+        with pytest.raises(InsufficientChunksError):
+            rcode.repair_node(0, 0, symbols)
