@@ -182,8 +182,11 @@ class ExperimentRunner:
                 self.run_one(i, strategy_factories) for i in range(self.runs)
             ]
             return self._persist_telemetry(results)
+        # Probe picklability exactly once and keep the payload: every
+        # submit ships the already-serialised bytes instead of
+        # re-pickling the factory dict per run.
         try:
-            pickle.dumps(strategy_factories)
+            payload = pickle.dumps(strategy_factories)
         except Exception as exc:
             raise ConfigurationError(
                 "strategy factories must be picklable for workers > 1 "
@@ -193,7 +196,7 @@ class ExperimentRunner:
             max_workers=min(workers, self.runs)
         ) as pool:
             futures = [
-                pool.submit(self.run_one, i, strategy_factories)
+                pool.submit(_run_one_from_payload, self, i, payload)
                 for i in range(self.runs)
             ]
             results = [f.result() for f in futures]
@@ -309,6 +312,18 @@ class ExperimentRunner:
         )
 
 
+def _run_one_from_payload(
+    runner: ExperimentRunner, run_index: int, payload: bytes
+) -> RunResult:
+    """Worker entry point: rebuild the factories from the probe payload.
+
+    Module-level so it pickles by reference; the factories cross the
+    process boundary as the bytes the picklability probe already
+    produced, not as a fresh serialisation per run.
+    """
+    return runner.run_one(run_index, pickle.loads(payload))
+
+
 # -- durable (crash-resumable) single runs --------------------------------
 
 def _durable_strategy(name: str, seed: int):
@@ -341,6 +356,8 @@ def run_durable_recovery(
     injector=None,
     backoff=None,
     crash_after_records: int | None = None,
+    streaming: bool = False,
+    window: int = 64,
 ):
     """One journalled recovery run on ``config`` (paper methodology).
 
@@ -367,6 +384,7 @@ def run_durable_recovery(
         state, event, _durable_strategy(strategy, seed), journal_path,
         injector=injector, backoff=backoff,
         crash_after_records=crash_after_records,
+        streaming=streaming, window=window,
         session_meta={
             "config": config.name,
             "seed": seed,
@@ -381,6 +399,8 @@ def resume_durable_recovery(
     journal_path: str | Path,
     *,
     crash_after_records: int | None = None,
+    streaming: bool = False,
+    window: int = 64,
 ):
     """Resume a crashed durable run from its journal, in any process.
 
@@ -423,5 +443,6 @@ def resume_durable_recovery(
         _durable_strategy(header["strategy_label"], header["seed"]),
         journal_path,
         crash_after_records=crash_after_records,
+        streaming=streaming, window=window,
     )
     return session.resume()

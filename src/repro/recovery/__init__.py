@@ -23,9 +23,11 @@ from repro.recovery.replacement import (
 from repro.recovery.planner import (
     ComputeTask,
     RecoveryPlan,
+    StreamingRecoveryPlan,
     StripePlan,
     Transfer,
     plan_recovery,
+    plan_recovery_streaming,
 )
 from repro.recovery.selector import (
     CarSelector,
@@ -69,9 +71,11 @@ __all__ = [
     "reduction_ratio",
     "ComputeTask",
     "RecoveryPlan",
+    "StreamingRecoveryPlan",
     "StripePlan",
     "Transfer",
     "plan_recovery",
+    "plan_recovery_streaming",
     "ReplacementPolicy",
     "SameNodeReplacementPolicy",
     "SameRackReplacementPolicy",

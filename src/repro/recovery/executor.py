@@ -38,6 +38,8 @@ fault-free fast path is unchanged):
 from __future__ import annotations
 
 import enum
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -53,7 +55,11 @@ from repro.erasure.repair import (
 from repro.errors import IntegrityError, PlanError
 from repro.obs import metrics as _metrics
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
-from repro.recovery.planner import RecoveryPlan, StripePlan
+from repro.recovery.planner import (
+    RecoveryPlan,
+    StreamingRecoveryPlan,
+    StripePlan,
+)
 from repro.recovery.solution import MultiStripeSolution, PerStripeSolution
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -165,10 +171,358 @@ class PlanExecutor:
                 helper grouping for the repair-vector split).
         """
         result = ExecutionResult()
+        # Indexed once: stripe_plan_for's linear scan is fine for a
+        # stripe or two but quadratic over a whole plan.
+        by_id = {sp.stripe_id: sp for sp in plan.stripe_plans}
         for sol in solution.solutions:
-            sp = plan.stripe_plan_for(sol.stripe_id)
+            sp = by_id.get(sol.stripe_id)
+            if sp is None:
+                raise PlanError(f"no stripe plan for stripe {sol.stripe_id}")
             self.execute_stripe(plan, sp, sol, result)
         return result
+
+    def execute_streaming(
+        self,
+        plan: RecoveryPlan | StreamingRecoveryPlan,
+        solution: MultiStripeSolution | None = None,
+        *,
+        window: int = 64,
+        batch: bool = True,
+        pipelined: bool = True,
+        workers: int | None = None,
+        shm: bool | None = None,
+        sink=None,
+    ) -> ExecutionResult:
+        """Execute a plan in bounded-memory stripe windows.
+
+        Functionally identical to :meth:`execute` — byte-identical
+        reconstructions, identical traffic/compute accounting, same
+        journal intent/commit protocol — but organised for scale:
+
+        - stripes are consumed ``window`` at a time from a lazy
+          iterator, so coordinator memory is O(window) rather than
+          O(stripes) (pair with a
+          :class:`~repro.recovery.planner.StreamingRecoveryPlan` and a
+          ``sink`` to keep even million-stripe runs flat);
+        - each window's GF decodes are batched by repair signature
+          (one kernel call per shared repair vector, see
+          :mod:`repro.recovery.streaming`);
+        - with ``pipelined=True`` the next window's decodes (stage A,
+          a worker thread) overlap the previous window's shipping,
+          accounting, and journalling (stage B, this thread).  The
+          overlap is recorded as ``exec.stream.aggregate`` /
+          ``exec.stream.ship`` spans when tracing is on.  Because the
+          metrics registry is not thread-safe, an active registry
+          disables the overlap (stages still batch; they just run
+          sequentially).
+
+        Args:
+            plan: an eager :class:`RecoveryPlan` (pass its
+                ``solution``) or a lazy :class:`StreamingRecoveryPlan`
+                (pass ``solution=None``).
+            window: stripes in flight at once (the memory bound).
+            batch: group same-signature stripes into one kernel call.
+            pipelined: overlap decode and shipping across windows.
+            workers: fan windows over this many *processes* (fast path
+                only; chunk data is shared zero-copy via
+                :mod:`repro.io_shm` unless ``shm=False``).
+            shm: force shared-memory (True) or pickled (False) chunk
+                transport for ``workers > 1``; None picks shared memory.
+            sink: optional ``sink(stripe_id, rebuilt, ok)`` callback.
+                When given, rebuilt chunks are handed off instead of
+                accumulated in ``result.reconstructed`` — the O(stripes)
+                retention an eager result cannot avoid.
+
+        Raises:
+            PlanError: bad window, or plan/solution mismatch.
+            ConfigurationError: ``workers > 1`` with a journal or
+                integrity verification attached.
+        """
+        from repro.recovery import streaming as _streaming
+
+        if window < 1:
+            raise PlanError(f"window must be >= 1, got {window}")
+        pairs = self._stream_pairs(plan, solution)
+        aggregated = plan.aggregated
+        repl = plan.replacement_node
+        if workers is not None and workers > 1:
+            return _streaming.execute_parallel(
+                self, pairs, aggregated, repl,
+                window=window, workers=workers, batch=batch, shm=shm,
+                sink=sink,
+            )
+        # The quiet path — no tracing, no metrics, no journal, no
+        # integrity pipeline — ships each stripe with pure accounting:
+        # every checkpoint/delivery hook would be a no-op, so the
+        # per-stripe hook cascade is skipped wholesale.
+        fast = (
+            not self.tracer.enabled
+            and _metrics.CURRENT is None
+            and self.journal is None
+            and not self.verify_integrity
+            # A subclass that hooks checkpoints/delivery (fault
+            # injection) needs the full per-stripe cascade to fire.
+            and type(self)._checkpoint is PlanExecutor._checkpoint
+            and type(self)._deliver is PlanExecutor._deliver
+        )
+        overlap = pipelined and _metrics.CURRENT is None
+        result = ExecutionResult()
+        code, data = self.state.code, self.state.data
+        spans: list[tuple] = []
+        pool = ThreadPoolExecutor(max_workers=1) if overlap else None
+        try:
+            pending = None
+            for idx, win in enumerate(_streaming.windows(pairs, window)):
+                if self.journal is not None:
+                    # Intent for every stripe of the window up front:
+                    # on a crash mid-window the un-committed stripes are
+                    # exactly the journal's pending set.
+                    for sol, _sp in win:
+                        self.journal.stripe_intent(
+                            sol.stripe_id,
+                            aggregated=aggregated,
+                            lost_chunk=sol.lost_chunk,
+                        )
+                if pool is not None:
+                    computed = pool.submit(
+                        _streaming.compute_window, code, data, win,
+                        aggregated, batch=batch, keep_partials=not fast,
+                    )
+                else:
+                    computed = _streaming.compute_window(
+                        code, data, win, aggregated,
+                        batch=batch, keep_partials=not fast,
+                    )
+                if pending is not None:
+                    self._ship_window(
+                        pending, result, aggregated, repl, fast, sink, spans
+                    )
+                pending = (idx, computed)
+            if pending is not None:
+                self._ship_window(
+                    pending, result, aggregated, repl, fast, sink, spans
+                )
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+        if self.tracer.enabled:
+            for idx, n, a0, a1, b0, b1 in spans:
+                self.tracer.emit_span(
+                    "exec.stream.aggregate", a0, a1, window=idx, stripes=n
+                )
+                self.tracer.emit_span(
+                    "exec.stream.ship", b0, b1, window=idx, stripes=n
+                )
+        return result
+
+    def _stream_pairs(
+        self,
+        plan: RecoveryPlan | StreamingRecoveryPlan,
+        solution: MultiStripeSolution | None,
+    ):
+        """Normalise either plan form into a lazy (sol, sp) iterator."""
+        if isinstance(plan, StreamingRecoveryPlan):
+            if solution is not None:
+                raise PlanError(
+                    "a streaming plan carries its own solutions; "
+                    "pass solution=None"
+                )
+            return plan.iter_stripe_plans()
+        if solution is None:
+            raise PlanError(
+                "execute_streaming over an eager RecoveryPlan needs the "
+                "MultiStripeSolution it was built from"
+            )
+        by_id = {sp.stripe_id: sp for sp in plan.stripe_plans}
+
+        def gen():
+            for sol in solution.solutions:
+                sp = by_id.get(sol.stripe_id)
+                if sp is None:
+                    raise PlanError(
+                        f"no stripe plan for stripe {sol.stripe_id}"
+                    )
+                yield sol, sp
+
+        return gen()
+
+    def _ship_window(
+        self, pending, result, aggregated, repl, fast, sink, spans
+    ) -> None:
+        """Stage B: account, checkpoint, and commit one computed window."""
+        idx, computed = pending
+        if isinstance(computed, tuple):
+            outcomes, a0, a1 = computed
+        else:
+            outcomes, a0, a1 = computed.result()
+        b0 = time.perf_counter()
+        for outcome in outcomes:
+            if fast:
+                self._ship_stripe_fast(outcome, result, aggregated, repl, sink)
+            else:
+                self._ship_stripe_full(outcome, result, aggregated, repl, sink)
+        if self.tracer.enabled:
+            spans.append((idx, len(outcomes), a0, a1, b0, time.perf_counter()))
+
+    def _ship_stripe_fast(
+        self, outcome, result, aggregated, repl, sink
+    ) -> None:
+        """Quiet-path shipping: the eager path's accounting, no hooks.
+
+        Every hook skipped here (checkpoints, delivery, journal, span)
+        is a strict no-op on the quiet path, so the resulting
+        :class:`ExecutionResult` is identical to :meth:`execute`'s.
+        """
+        sol, sp = outcome.sol, outcome.sp
+        chunk_bytes = self.state.data.chunk_size
+        for t in sp.transfers:
+            if t.cross_rack:
+                result.cross_rack_bytes += chunk_bytes
+            else:
+                result.intra_rack_bytes += chunk_bytes
+        charge = result.bytes_computed_by_node
+        if aggregated:
+            for group in outcome.groups:
+                node = (
+                    repl
+                    if group.group_key == sol.failed_rack
+                    else sp.delegates[group.group_key]
+                )
+                charge[node] = charge.get(node, 0) + group.size * chunk_bytes
+            charge[repl] = (
+                charge.get(repl, 0) + len(outcome.groups) * chunk_bytes
+            )
+        else:
+            charge[repl] = charge.get(repl, 0) + sol.helper_count * chunk_bytes
+        if sink is not None:
+            sink(sol.stripe_id, outcome.rebuilt, outcome.ok)
+        else:
+            result.reconstructed[sol.stripe_id] = outcome.rebuilt
+        result.per_stripe_ok[sol.stripe_id] = outcome.ok
+
+    def _ship_stripe_full(
+        self, outcome, result, aggregated, repl, sink
+    ) -> None:
+        """Instrumented shipping: the eager path's exact hook sequence.
+
+        Fires the same checkpoints and deliveries, in the same order,
+        as :meth:`execute_stripe` — traces, stage-counter metrics,
+        journal stage/commit records, and integrity verification are
+        indistinguishable from an eager run of the same stripe (only
+        the decode itself already happened, batched, in stage A).
+        """
+        sol, sp = outcome.sol, outcome.sp
+        chunk_bytes = self.state.data.chunk_size
+        if self.journal is not None:
+            before_cross = result.cross_rack_bytes
+            before_intra = result.intra_rack_bytes
+            before_compute = dict(result.bytes_computed_by_node)
+        with self.tracer.span(
+            "exec.stripe", stripe_id=sol.stripe_id, aggregated=aggregated
+        ):
+            for c in sol.helpers:
+                node = self.state.placement.node_of(sol.stripe_id, c)
+                self._checkpoint(
+                    PipelineStage.DISK_READ,
+                    stripe_id=sol.stripe_id,
+                    node=node,
+                    rack=self.state.topology.rack_of(node),
+                    chunk=c,
+                )
+            for t in sp.transfers:
+                if t.is_partial:
+                    continue
+                stage = (
+                    PipelineStage.CROSS_TRANSFER
+                    if t.cross_rack
+                    else PipelineStage.INTRA_TRANSFER
+                )
+                self._deliver(
+                    stage,
+                    self.state.data.chunk(sol.stripe_id, t.chunk_index),
+                    stripe_id=sol.stripe_id,
+                    node=t.src_node,
+                    rack=t.src_rack,
+                    chunk=t.chunk_index,
+                )
+                if t.cross_rack:
+                    result.cross_rack_bytes += chunk_bytes
+                else:
+                    result.intra_rack_bytes += chunk_bytes
+            if aggregated:
+                partial_transfers = [t for t in sp.transfers if t.is_partial]
+                groups = sorted(
+                    outcome.groups,
+                    key=lambda g: (
+                        g.group_key != sol.failed_rack, g.group_key
+                    ),
+                )
+                for group in groups:
+                    if group.group_key == sol.failed_rack:
+                        node = repl
+                        self._checkpoint(
+                            PipelineStage.LOCAL_FOLD,
+                            stripe_id=sol.stripe_id,
+                            node=node,
+                            rack=self.state.topology.rack_of(node),
+                        )
+                    else:
+                        node = sp.delegates[group.group_key]
+                        self._checkpoint(
+                            PipelineStage.PARTIAL_DECODE,
+                            stripe_id=sol.stripe_id,
+                            node=node,
+                            rack=group.group_key,
+                            is_partial=True,
+                        )
+                        xfer = _partial_transfer_from(partial_transfers, node)
+                        self._deliver(
+                            PipelineStage.CROSS_TRANSFER
+                            if xfer.cross_rack
+                            else PipelineStage.INTRA_TRANSFER,
+                            outcome.partials[group.group_key],
+                            stripe_id=sol.stripe_id,
+                            node=node,
+                            rack=group.group_key,
+                            is_partial=True,
+                        )
+                        if xfer.cross_rack:
+                            result.cross_rack_bytes += chunk_bytes
+                        else:
+                            result.intra_rack_bytes += chunk_bytes
+                    self._charge(result, node, group.size * chunk_bytes)
+                self._charge(result, repl, len(outcome.groups) * chunk_bytes)
+            else:
+                self._charge(result, repl, sol.helper_count * chunk_bytes)
+            self._checkpoint(
+                PipelineStage.FINAL_COMBINE,
+                stripe_id=sol.stripe_id,
+                node=repl,
+                rack=self.state.topology.rack_of(repl),
+            )
+            if sink is not None:
+                sink(sol.stripe_id, outcome.rebuilt, outcome.ok)
+            else:
+                result.reconstructed[sol.stripe_id] = outcome.rebuilt
+            result.per_stripe_ok[sol.stripe_id] = outcome.ok
+        reg = _metrics.CURRENT
+        if reg is not None:
+            mode = "aggregated" if aggregated else "direct"
+            reg.counter("exec.stripes").inc(mode=mode)
+        if self.journal is not None:
+            self.journal.stripe_commit(
+                sol.stripe_id,
+                outcome.rebuilt,
+                lost_chunk=sol.lost_chunk,
+                ok=outcome.ok,
+                cross_rack_bytes=result.cross_rack_bytes - before_cross,
+                intra_rack_bytes=result.intra_rack_bytes - before_intra,
+                bytes_computed_by_node={
+                    n: b - before_compute.get(n, 0)
+                    for n, b in result.bytes_computed_by_node.items()
+                    if b - before_compute.get(n, 0)
+                },
+            )
 
     def execute_stripe(
         self,

@@ -30,7 +30,15 @@ from repro.errors import PlanError
 from repro.obs import metrics as _metrics
 from repro.recovery.solution import MultiStripeSolution, PerStripeSolution
 
-__all__ = ["Transfer", "ComputeTask", "StripePlan", "RecoveryPlan", "plan_recovery"]
+__all__ = [
+    "Transfer",
+    "ComputeTask",
+    "StripePlan",
+    "RecoveryPlan",
+    "StreamingRecoveryPlan",
+    "plan_recovery",
+    "plan_recovery_streaming",
+]
 
 
 @dataclass(frozen=True)
@@ -124,6 +132,15 @@ class RecoveryPlan:
         """Every flow in the plan."""
         for sp in self.stripe_plans:
             yield from sp.transfers
+
+    def iter_stripe_plans(self) -> Iterator[StripePlan]:
+        """Per-stripe plans in stripe order.
+
+        The eager counterpart of
+        :meth:`StreamingRecoveryPlan.iter_stripe_plans`, so consumers can
+        stream over either plan form without branching.
+        """
+        return iter(self.stripe_plans)
 
     def stripe_plan_for(self, stripe_id: int) -> StripePlan:
         """The per-stripe plan for ``stripe_id``.
@@ -220,6 +237,129 @@ def plan_recovery(
             for t in sp.transfers:
                 transfers.inc(scope="cross" if t.cross_rack else "intra")
     return result
+
+
+def _plan_one(
+    state: ClusterState,
+    event: FailureEvent,
+    sol: PerStripeSolution,
+    aggregated: bool,
+    dead: frozenset[int],
+) -> StripePlan:
+    if aggregated:
+        return _plan_stripe_aggregated(state, event, sol, dead)
+    return _plan_stripe_direct(state, event, sol, dead)
+
+
+def _record_stripe_metrics(
+    reg, sol: PerStripeSolution, sp: StripePlan, aggregated: bool
+) -> None:
+    """One stripe's share of the plan.* metrics.
+
+    Recorded per stripe so the lazily built plan's totals are identical
+    to the eager :func:`plan_recovery` totals for the same stripes.
+    """
+    mode = "aggregated" if aggregated else "direct"
+    reg.counter("plan.stripes").inc(mode=mode)
+    reg.histogram(
+        "plan.racks_accessed", buckets=_metrics.COUNT_BUCKETS
+    ).observe(len(sol.chunks_by_rack))
+    transfers = reg.counter("plan.transfers")
+    for t in sp.transfers:
+        transfers.inc(scope="cross" if t.cross_rack else "intra")
+
+
+class StreamingRecoveryPlan:
+    """Lazy counterpart of :class:`RecoveryPlan` for bounded-memory runs.
+
+    Instead of materialising one :class:`StripePlan` per affected stripe
+    up front (at million-stripe scale the transfer dataclasses dominate
+    the coordinator's heap), the streaming plan holds only the inputs —
+    cluster state, failure event, per-stripe solutions — and builds each
+    stripe's plan on demand inside :meth:`iter_stripe_plans`.  Memory is
+    O(1) in the stripe count; the executor's window is the only buffer.
+
+    The iterator is single-shot: per-stripe plans are yielded once, in
+    solution order, and the ``plan.*`` metrics are recorded per stripe so
+    a fully drained streaming plan leaves identical metric totals to the
+    eager :func:`plan_recovery`.
+
+    Attributes:
+        replacement_node: destination of every reconstruction.
+        aggregated: whether partial decoding is used.
+    """
+
+    def __init__(
+        self,
+        state: ClusterState,
+        event: FailureEvent,
+        solutions,
+        *,
+        aggregated: bool,
+        dead_nodes: frozenset[int] | set[int] = frozenset(),
+    ) -> None:
+        self._state = state
+        self._event = event
+        self._solutions = iter(solutions)
+        self._dead = frozenset(dead_nodes)
+        self._consumed = False
+        self.replacement_node = event.replacement_node
+        self.aggregated = aggregated
+
+    def iter_stripe_plans(self) -> Iterator[tuple[PerStripeSolution, StripePlan]]:
+        """Yield ``(solution, stripe_plan)`` pairs lazily, in order.
+
+        Raises:
+            PlanError: on a second call (the underlying solution iterator
+                is consumed), or if a solution references chunks the
+                placement does not hold where expected.
+        """
+        if self._consumed:
+            raise PlanError("streaming plan already consumed (single-shot)")
+        self._consumed = True
+        for sol in self._solutions:
+            sp = _plan_one(
+                self._state, self._event, sol, self.aggregated, self._dead
+            )
+            reg = _metrics.CURRENT
+            if reg is not None:
+                _record_stripe_metrics(reg, sol, sp, self.aggregated)
+            yield sol, sp
+
+
+def plan_recovery_streaming(
+    state: ClusterState,
+    event: FailureEvent,
+    solutions,
+    *,
+    aggregated: bool | None = None,
+    dead_nodes: frozenset[int] | set[int] = frozenset(),
+) -> StreamingRecoveryPlan:
+    """Build a lazy :class:`StreamingRecoveryPlan` for ``solutions``.
+
+    Args:
+        solutions: a :class:`~repro.recovery.solution.MultiStripeSolution`
+            (``aggregated`` is taken from it) or any iterable of
+            :class:`~repro.recovery.solution.PerStripeSolution` — e.g. a
+            generator produced by a strategy that solves stripes lazily —
+            in which case ``aggregated`` must be given explicitly.
+        dead_nodes: as for :func:`plan_recovery`.
+
+    Raises:
+        PlanError: if ``aggregated`` cannot be determined.
+    """
+    if isinstance(solutions, MultiStripeSolution):
+        if aggregated is None:
+            aggregated = solutions.aggregated
+        solutions = solutions.solutions
+    if aggregated is None:
+        raise PlanError(
+            "aggregated= is required when streaming from a bare solution "
+            "iterable"
+        )
+    return StreamingRecoveryPlan(
+        state, event, solutions, aggregated=aggregated, dead_nodes=dead_nodes
+    )
 
 
 def _holder(

@@ -1,0 +1,419 @@
+"""Windowed, batched stripe computation for the streaming executor.
+
+This module is the compute half of
+:meth:`~repro.recovery.executor.PlanExecutor.execute_streaming`:
+
+- :func:`windows` slices a lazy ``(solution, stripe_plan)`` iterator
+  into bounded windows, so coordinator memory is O(window) regardless of
+  stripe count;
+- :func:`compute_window` performs every GF decode of a window in one
+  pass, **batched by repair signature**: stripes whose repairs use the
+  same lost index, helper set, and rack grouping share one repair
+  vector, so their chunk buffers are concatenated and each per-rack
+  partial decode (Equation 7) becomes a single multi-stripe
+  :func:`~repro.gf.vector.dot_rows` kernel call.  GF table lookups are
+  elementwise, so the concatenated result sliced per stripe is
+  byte-identical to per-stripe calls;
+- the per-signature :class:`~repro.erasure.repair.PartialDecodePlan` is
+  memoised in the named :data:`REPAIR_GROUP_CACHE`, whose hit/miss rates
+  surface through the :mod:`repro.obs` metrics registry (the hit rate is
+  exactly the batching opportunity the grouping exploits);
+- :func:`execute_parallel` fans windows out over a process pool, with
+  chunk data mapped zero-copy through :mod:`repro.io_shm` instead of
+  pickled per task.
+
+Everything here is *pure computation* over read-only state: no tracer,
+metrics, journal, or data-store mutation.  That is a hard requirement —
+the pipelined executor runs :func:`compute_window` on a worker thread
+while the main thread ships the previous window (telemetry, journalling
+and the GF scratch buffers are not thread-safe, so they stay on exactly
+one thread each).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from itertools import islice
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.cache import BoundedCache
+from repro.erasure.repair import PartialDecodePlan, split_repair_vector
+from repro.errors import ConfigurationError
+from repro.gf.field import gf
+from repro.gf.vector import dot_rows
+from repro.recovery.planner import StripePlan
+from repro.recovery.solution import PerStripeSolution
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.recovery.executor import PlanExecutor
+
+__all__ = [
+    "REPAIR_GROUP_CACHE",
+    "StripeOutcome",
+    "repair_signature",
+    "windows",
+    "compute_window",
+    "execute_parallel",
+]
+
+#: Memoised per-signature repair decompositions.  Named, so the cache
+#: self-registers with the metrics registry: its hit rate quantifies how
+#: often stripes share a repair vector (the batching payoff) and shows
+#: up in ``repro-car metrics`` next to the GF table caches.
+REPAIR_GROUP_CACHE = BoundedCache(4096, name="exec.repair_groups")
+
+
+@dataclass
+class StripeOutcome:
+    """Everything stage B (shipping) needs about one computed stripe.
+
+    Attributes:
+        sol / sp: the stripe's solution and plan.
+        rebuilt: the reconstructed chunk (owned copy, not a batch view).
+        ok: byte-exact match against ground truth.
+        groups: the repair decomposition's per-rack groups (aggregated
+            mode; used for compute charging and checkpoint ordering).
+        partials: rack key -> partially decoded buffer.  Only populated
+            when the executor needs to ship them through the full
+            checkpoint/delivery pipeline (telemetry, journal or
+            integrity verification active).
+    """
+
+    sol: PerStripeSolution
+    sp: StripePlan
+    rebuilt: np.ndarray
+    ok: bool
+    groups: tuple = ()
+    partials: dict | None = None
+
+
+def repair_signature(sol: PerStripeSolution, aggregated: bool):
+    """The key under which stripes share a repair vector.
+
+    Two stripes with equal signatures repair with identical coefficient
+    rows and identical rack grouping, so their decodes batch into one
+    kernel call per rack.
+    """
+    if aggregated:
+        return (
+            sol.lost_chunk,
+            sol.helpers,
+            tuple(sorted(sol.rack_map().items())),
+            sol.failed_rack,
+        )
+    return (sol.lost_chunk, sol.helpers)
+
+
+def windows(pairs, window: int):
+    """Slice an iterator of ``(sol, sp)`` pairs into lists of ``window``."""
+    pairs = iter(pairs)
+    while True:
+        chunk = list(islice(pairs, window))
+        if not chunk:
+            return
+        yield chunk
+
+
+def _decode_plan(code, sol: PerStripeSolution) -> PartialDecodePlan:
+    """The stripe's per-rack repair decomposition, memoised by signature."""
+    key = (
+        type(code).__name__,
+        code.k,
+        code.m,
+        getattr(code, "w", 0),
+        repair_signature(sol, True),
+    )
+    return REPAIR_GROUP_CACHE.get_or_build(
+        key,
+        lambda: split_repair_vector(
+            code, sol.lost_chunk, sol.helpers, sol.rack_map()
+        ),
+    )
+
+
+def _ok_flags(data, members, rebuilt_cat: np.ndarray, size: int) -> list[bool]:
+    """Per-stripe ground-truth verdicts for one batched group.
+
+    The common case — everything reconstructs — is one comparison over
+    the concatenated buffers; only a mismatching group falls back to
+    per-stripe comparisons (whose verdicts must match the eager path's
+    exactly, stripe by stripe).
+    """
+    truth = [
+        data.chunk(sol.stripe_id, sol.lost_chunk) for sol, _ in members
+    ]
+    if np.array_equal(rebuilt_cat, np.concatenate(truth) if len(truth) > 1 else truth[0]):
+        return [True] * len(members)
+    return [
+        bool(np.array_equal(truth[i], rebuilt_cat[i * size : (i + 1) * size]))
+        for i in range(len(members))
+    ]
+
+
+def _compute_group_aggregated(
+    code, field, data, members, keep_partials: bool
+) -> list[StripeOutcome]:
+    """Batched aggregated decode of stripes sharing one signature."""
+    sol0 = members[0][0]
+    plan = _decode_plan(code, sol0)
+    size = data.chunk(sol0.stripe_id, plan.groups[0].helper_indices[0]).shape[0]
+    many = len(members) > 1
+    partials_cat: dict = {}
+    rebuilt_cat: np.ndarray | None = None
+    for group in plan.groups:
+        bufs = [
+            np.concatenate(
+                [data.chunk(sol.stripe_id, h) for sol, _ in members]
+            )
+            if many
+            else data.chunk(members[0][0].stripe_id, h)
+            for h in group.helper_indices
+        ]
+        partial = dot_rows(field, list(group.coefficients), bufs)
+        partials_cat[group.group_key] = partial
+        if rebuilt_cat is None:
+            rebuilt_cat = partial.copy()
+        else:
+            np.bitwise_xor(rebuilt_cat, partial, out=rebuilt_cat)
+    oks = _ok_flags(data, members, rebuilt_cat, size)
+    out = []
+    for i, (sol, sp) in enumerate(members):
+        lo, hi = i * size, (i + 1) * size
+        out.append(
+            StripeOutcome(
+                sol=sol,
+                sp=sp,
+                rebuilt=rebuilt_cat[lo:hi].copy(),
+                ok=oks[i],
+                groups=plan.groups,
+                partials=(
+                    {k: v[lo:hi] for k, v in partials_cat.items()}
+                    if keep_partials
+                    else None
+                ),
+            )
+        )
+    return out
+
+
+def _compute_group_direct(code, field, data, members) -> list[StripeOutcome]:
+    """Batched direct (RR) reconstruction of same-signature stripes.
+
+    :meth:`RSCode.reconstruct` is ``dot_rows`` over the sorted helper
+    set's repair vector; batching concatenates the helper buffers across
+    stripes and issues that single combination once.
+    """
+    sol0 = members[0][0]
+    helpers = sol0.helpers  # already sorted
+    y = code.repair_vector(sol0.lost_chunk, list(helpers))
+    many = len(members) > 1
+    bufs = [
+        np.concatenate([data.chunk(sol.stripe_id, h) for sol, _ in members])
+        if many
+        else data.chunk(sol0.stripe_id, h)
+        for h in helpers
+    ]
+    rebuilt_cat = dot_rows(field, y, bufs)
+    size = rebuilt_cat.shape[0] // len(members)
+    oks = _ok_flags(data, members, rebuilt_cat, size)
+    return [
+        StripeOutcome(
+            sol=sol,
+            sp=sp,
+            rebuilt=rebuilt_cat[i * size : (i + 1) * size].copy(),
+            ok=oks[i],
+        )
+        for i, (sol, sp) in enumerate(members)
+    ]
+
+
+def compute_window(
+    code,
+    data,
+    pairs: list[tuple[PerStripeSolution, StripePlan]],
+    aggregated: bool,
+    *,
+    batch: bool = True,
+    keep_partials: bool = False,
+) -> tuple[list[StripeOutcome], float, float]:
+    """Stage A: decode every stripe of one window, batched by signature.
+
+    Returns the outcomes **in input order** plus the stage's wall-clock
+    start/end (the executor emits them as a pipeline span — this
+    function itself must stay telemetry-free, see the module docstring).
+    """
+    start = time.perf_counter()
+    field = gf(code.w)
+    by_sig: dict = {}
+    for i, pair in enumerate(pairs):
+        sig = repair_signature(pair[0], aggregated) if batch else i
+        by_sig.setdefault(sig, []).append((i, pair))
+    outcomes: list[StripeOutcome | None] = [None] * len(pairs)
+    for entries in by_sig.values():
+        members = [pair for _, pair in entries]
+        if aggregated:
+            computed = _compute_group_aggregated(
+                code, field, data, members, keep_partials
+            )
+        else:
+            computed = _compute_group_direct(code, field, data, members)
+        for (i, _), outcome in zip(entries, computed):
+            outcomes[i] = outcome
+    return outcomes, start, time.perf_counter()
+
+
+# -- multi-process execution ------------------------------------------------
+
+#: Per-worker context installed by the pool initializer: (code, data
+#: store, aggregated, batch, replacement node, shared store to close on
+#: exit).  Module-global because ProcessPoolExecutor initializers cannot
+#: return values.
+_WORKER: dict | None = None
+
+
+def _init_worker(payload: bytes) -> None:
+    from repro.io_shm import SharedChunkStore
+
+    global _WORKER
+    ctx = pickle.loads(payload)
+    if ctx["handle"] is not None:
+        shared = SharedChunkStore.attach(ctx["handle"])
+        data = shared.store()
+    else:
+        shared = None
+        data = ctx["data"]
+    _WORKER = {
+        "code": ctx["code"],
+        "data": data,
+        "aggregated": ctx["aggregated"],
+        "batch": ctx["batch"],
+        "replacement_node": ctx["replacement_node"],
+        "shared": shared,
+    }
+
+
+def _run_window(pairs: list) -> list[tuple]:
+    """Worker task: stage A + fast-path accounting for one window.
+
+    Returns per stripe ``(stripe_id, rebuilt, ok, cross_bytes,
+    intra_bytes, charges)`` — plain picklable tuples, merged by the
+    parent in submission order so results are order-stable for any
+    worker count.
+    """
+    ctx = _WORKER
+    outcomes, _, _ = compute_window(
+        ctx["code"], ctx["data"], pairs, ctx["aggregated"],
+        batch=ctx["batch"],
+    )
+    chunk_bytes = ctx["data"].chunk_size
+    repl = ctx["replacement_node"]
+    out = []
+    for o in outcomes:
+        cross = intra = 0
+        for t in o.sp.transfers:
+            if t.cross_rack:
+                cross += chunk_bytes
+            else:
+                intra += chunk_bytes
+        charges: dict[int, int] = {}
+        if ctx["aggregated"]:
+            for group in o.groups:
+                node = (
+                    repl
+                    if group.group_key == o.sol.failed_rack
+                    else o.sp.delegates[group.group_key]
+                )
+                charges[node] = charges.get(node, 0) + group.size * chunk_bytes
+            charges[repl] = charges.get(repl, 0) + len(o.groups) * chunk_bytes
+        else:
+            charges[repl] = o.sol.helper_count * chunk_bytes
+        out.append(
+            (o.sol.stripe_id, o.rebuilt, o.ok, cross, intra, charges)
+        )
+    return out
+
+
+def execute_parallel(
+    executor: "PlanExecutor",
+    pairs,
+    aggregated: bool,
+    replacement_node: int,
+    *,
+    window: int,
+    workers: int,
+    batch: bool,
+    shm: bool | None,
+    sink=None,
+):
+    """Fan stripe windows out over worker processes (fast path only).
+
+    The chunk store crosses the process boundary exactly once — as a
+    shared-memory mapping by default (``shm=None``/``True``), or pickled
+    into the initializer when ``shm=False`` — never per task.  Windows
+    are submitted in order and folded in order.
+
+    Raises:
+        ConfigurationError: if a journal or integrity verification is
+            attached — both are coordinator-local protocols that cannot
+            span worker processes.
+    """
+    from repro.io_shm import SharedChunkStore
+    from repro.recovery.executor import ExecutionResult
+
+    if executor.journal is not None:
+        raise ConfigurationError(
+            "streaming with workers > 1 cannot journal: the write-ahead "
+            "journal is single-writer (run workers=1 for durable sessions)"
+        )
+    if executor.verify_integrity:
+        raise ConfigurationError(
+            "streaming with workers > 1 skips the in-flight delivery "
+            "pipeline; integrity verification requires workers=1"
+        )
+    use_shm = True if shm is None else shm
+    shared = (
+        SharedChunkStore.from_datastore(executor.state.data)
+        if use_shm
+        else None
+    )
+    ctx = {
+        "code": executor.state.code,
+        "handle": shared.handle if shared is not None else None,
+        "data": None if shared is not None else executor.state.data,
+        "aggregated": aggregated,
+        "batch": batch,
+        "replacement_node": replacement_node,
+    }
+    payload = pickle.dumps(ctx)
+    result = ExecutionResult()
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(payload,),
+        ) as pool:
+            futures = [
+                pool.submit(_run_window, win) for win in windows(pairs, window)
+            ]
+            for fut in futures:
+                for sid, rebuilt, ok, cross, intra, charges in fut.result():
+                    if sink is not None:
+                        sink(sid, rebuilt, ok)
+                    else:
+                        result.reconstructed[sid] = rebuilt
+                    result.per_stripe_ok[sid] = ok
+                    result.cross_rack_bytes += cross
+                    result.intra_rack_bytes += intra
+                    for node, nbytes in charges.items():
+                        result.bytes_computed_by_node[node] = (
+                            result.bytes_computed_by_node.get(node, 0) + nbytes
+                        )
+    finally:
+        if shared is not None:
+            shared.close()
+    return result
