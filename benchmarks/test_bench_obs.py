@@ -84,3 +84,35 @@ def test_disabled_guard_under_5_percent_of_kernel(chunk_1mb):
         return best / iters
 
     assert guard_cost() < 0.05 * kernel_cost()
+
+
+def test_disabled_progress_and_profiler_guards_under_5_percent(chunk_1mb):
+    """The observatory guards obey the same contract as the metrics
+    guard: with no reporter/sampler attached the executor pays one
+    ``is None`` check per window (progress) and per execute call
+    (profiler) — under 5% of one 1 MB kernel dispatch."""
+    progress = None
+    profiler = None
+
+    def guard_cost(iters=20_000):
+        best = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            for _ in range(iters):
+                if progress is not None:  # per-window disabled path
+                    raise AssertionError
+                if profiler is not None:  # per-call disabled path
+                    raise AssertionError
+            best = min(best, time.perf_counter() - start)
+        return best / iters
+
+    def kernel_cost(iters=5):
+        best = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            for _ in range(iters):
+                mul_scalar(GF8, 0x57, chunk_1mb)
+            best = min(best, time.perf_counter() - start)
+        return best / iters
+
+    assert guard_cost() < 0.05 * kernel_cost()

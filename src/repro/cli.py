@@ -28,6 +28,13 @@ Streaming hot path::
     repro-car stream --stripes 5000               # throughput + peak RSS
     repro-car stream --workers 2 --shm            # zero-copy worker fan-out
     repro-car stream --json out/stream.json       # machine-readable artifact
+    repro-car stream --telemetry out/ --progress  # trace + live status line
+
+Observatory::
+
+    repro-car report out/trace.jsonl              # per-stage attribution
+    repro-car export out/trace.jsonl --out t.json # Perfetto-loadable trace
+    repro-car export out/trace.jsonl --folded t.folded  # flamegraph stacks
 """
 
 from __future__ import annotations
@@ -76,13 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "fig7", "fig8", "fig9", "fig10", "ablation", "landscape",
             "longrun", "degraded", "regen", "all", "trace", "metrics",
-            "scrub", "durable", "resume", "stream",
+            "scrub", "durable", "resume", "stream", "report", "export",
         ],
         help=(
             "which figure/experiment to regenerate, a telemetry "
-            "reporting command (trace/metrics), a durability "
-            "command (scrub/durable/resume), or a streaming recovery "
-            "run with throughput/RSS reporting (stream)"
+            "reporting command (trace/metrics/report/export), a "
+            "durability command (scrub/durable/resume), or a streaming "
+            "recovery run with throughput/RSS reporting (stream)"
         ),
     )
     parser.add_argument(
@@ -90,8 +97,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help=(
-            "artifact path: a trace.jsonl for 'trace', a metrics.json "
-            "for 'metrics', the write-ahead journal for "
+            "artifact path: a trace.jsonl for 'trace'/'report'/'export', "
+            "a metrics.json for 'metrics', the write-ahead journal for "
             "'durable'/'resume' (ignored by experiments)"
         ),
     )
@@ -101,7 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "record a span trace and metrics snapshot for experiments "
-            "that support it (fig7) into DIR"
+            "that support it (fig7, regen) into DIR; for 'stream' also "
+            "writes a Perfetto-loadable trace.chrome.json, progress "
+            "heartbeats, and resource-profile samples"
         ),
     )
     parser.add_argument(
@@ -200,6 +209,34 @@ def build_parser() -> argparse.ArgumentParser:
             "shared memory (zero-copy) instead of pickling"
         ),
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        default=False,
+        help=(
+            "print a live status line to stderr during 'stream' and "
+            "streaming 'durable'/'resume' runs (stripes/s, windows, "
+            "traffic, journal lag, ETA)"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help=(
+            "output path for 'export' (default: <trace>.chrome.json "
+            "next to the input)"
+        ),
+    )
+    parser.add_argument(
+        "--folded",
+        metavar="FILE",
+        default=None,
+        help=(
+            "also write collapsed-stack flamegraph lines for 'export' "
+            "to FILE"
+        ),
+    )
     return parser
 
 
@@ -239,6 +276,56 @@ def _run_metrics(args: argparse.Namespace) -> str:
 
     with open(args.path, encoding="utf-8") as fh:
         return render_metrics(json.load(fh))
+
+
+def _run_report(args: argparse.Namespace) -> str:
+    from repro.obs import attribute, read_jsonl, render_attribution
+
+    return render_attribution(attribute(read_jsonl(args.path)))
+
+
+def _run_export(args: argparse.Namespace) -> str:
+    import json
+    from pathlib import Path
+
+    from repro.obs import (
+        read_jsonl,
+        to_chrome_trace,
+        validate_chrome_trace,
+        write_collapsed_stacks,
+    )
+
+    events = read_jsonl(args.path)
+    out = (
+        Path(args.out)
+        if args.out is not None
+        else Path(args.path).with_suffix(".chrome.json")
+    )
+    payload = to_chrome_trace(events)
+    count = validate_chrome_trace(payload)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    lines = [
+        f"wrote {count} trace events to {out}"
+        " (open in https://ui.perfetto.dev or chrome://tracing)"
+    ]
+    if args.folded is not None:
+        folded = write_collapsed_stacks(events, args.folded)
+        lines.append(f"wrote collapsed flamegraph stacks to {folded}")
+    return "\n".join(lines)
+
+
+def _stderr_progress(total_stripes=None):
+    """A ProgressReporter rendering a live line on stderr."""
+    from repro.obs import ProgressReporter
+
+    return ProgressReporter(
+        total_stripes=total_stripes,
+        stream=sys.stderr,
+        tty=sys.stderr.isatty(),
+    )
 
 
 def _run_fig7(args: argparse.Namespace) -> str:
@@ -520,6 +607,7 @@ def _run_durable(args: argparse.Namespace) -> str:
         crash_after_records=args.crash_after,
         streaming=args.stream,
         window=args.window,
+        progress=_stderr_progress() if args.progress and args.stream else None,
     )
     return _render_durable(out, "fresh run")
 
@@ -530,6 +618,7 @@ def _run_resume(args: argparse.Namespace) -> str:
     out = resume_durable_recovery(
         args.path, crash_after_records=args.crash_after,
         streaming=args.stream, window=args.window,
+        progress=_stderr_progress() if args.progress and args.stream else None,
     )
     return _render_durable(out, "resumed")
 
@@ -538,6 +627,7 @@ def _run_stream(args: argparse.Namespace) -> str:
     import json
     import resource
     import time
+    from contextlib import nullcontext
     from pathlib import Path
 
     from repro.cluster.failure import FailureInjector
@@ -564,21 +654,55 @@ def _run_stream(args: argparse.Namespace) -> str:
     solution = strategy.solve(state)
     affected = len(solution.solutions)
     plan = plan_recovery_streaming(state, event, solution)
-    executor = PlanExecutor(state)
+    # Opt-in observability: --telemetry records trace + metrics +
+    # resource profile (and disables the telemetry-free fast path —
+    # that is the point); --progress renders a live stderr line either
+    # way.  Neither flag set keeps the hot path untouched.
+    telemetry_dir = Path(args.telemetry) if args.telemetry else None
+    tracer = registry = profiler = progress = None
+    if telemetry_dir is not None:
+        from repro.obs import MetricsRegistry, ResourceSampler, Tracer
+
+        telemetry_dir.mkdir(parents=True, exist_ok=True)
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        profiler = ResourceSampler()
+    if telemetry_dir is not None or args.progress:
+        from repro.obs import ProgressReporter, jsonl_sink
+
+        progress = ProgressReporter(
+            total_stripes=affected,
+            sink=(
+                jsonl_sink(telemetry_dir / "progress.jsonl")
+                if telemetry_dir is not None
+                else None
+            ),
+            stream=sys.stderr if args.progress else None,
+            tty=args.progress and sys.stderr.isatty(),
+        )
+    executor = PlanExecutor(state, tracer, profiler=profiler)
     ok_count = 0
 
     def sink(stripe_id, rebuilt, ok):
         nonlocal ok_count
         ok_count += ok
 
+    if registry is not None:
+        from repro.obs import telemetry_scope
+
+        scope = telemetry_scope(registry)
+    else:
+        scope = nullcontext()
     t0 = time.perf_counter()
-    result = executor.execute_streaming(
-        plan,
-        window=args.window,
-        workers=args.workers,
-        shm=args.shm if args.shm else None,
-        sink=sink,
-    )
+    with scope:
+        result = executor.execute_streaming(
+            plan,
+            window=args.window,
+            workers=args.workers,
+            shm=args.shm if args.shm else None,
+            sink=sink,
+            progress=progress,
+        )
     elapsed = time.perf_counter() - t0
     peak_rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     throughput = affected / elapsed if elapsed > 0 else float("inf")
@@ -608,6 +732,18 @@ def _run_stream(args: argparse.Namespace) -> str:
         f" / intra-rack {result.intra_rack_bytes} B",
         f"  verified : {'yes' if payload['verified'] else 'NO'}",
     ]
+    if telemetry_dir is not None:
+        from repro.obs import write_chrome_trace
+
+        tracer.write_jsonl(telemetry_dir / "trace.jsonl")
+        profiler.merge_into(registry)
+        profiler.write_jsonl(telemetry_dir / "profile.jsonl")
+        registry.write_json(telemetry_dir / "metrics.json")
+        write_chrome_trace(tracer.events, telemetry_dir / "trace.chrome.json")
+        lines.append(
+            f"  wrote trace.jsonl, trace.chrome.json, metrics.json, "
+            f"profile.jsonl, progress.jsonl to {telemetry_dir}/"
+        )
     if args.json_path is not None:
         Path(args.json_path).parent.mkdir(parents=True, exist_ok=True)
         with open(args.json_path, "w", encoding="utf-8") as fh:
@@ -621,7 +757,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if (args.experiment in ("trace", "metrics", "durable", "resume")
+    if (args.experiment in ("trace", "metrics", "durable", "resume",
+                            "report", "export")
             and args.path is None):
         parser.error(f"'{args.experiment}' requires a file path argument")
     handlers = {
@@ -636,6 +773,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "regen": _run_regen,
         "trace": _run_trace,
         "metrics": _run_metrics,
+        "report": _run_report,
+        "export": _run_export,
         "scrub": _run_scrub,
         "durable": _run_durable,
         "resume": _run_resume,

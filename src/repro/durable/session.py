@@ -105,6 +105,14 @@ class RecoverySession:
             per-stripe retry protocol the batched decode cannot host, so
             ``streaming=True`` with an ``injector`` is refused.
         window: stripes in flight at once on the streaming path.
+        progress: optional
+            :class:`~repro.obs.progress.ProgressReporter` for streaming
+            sessions — heartbeats carry journal lag (intents without
+            commits), the crash-exposure window a durable run cares
+            about.  Ignored on the eager path.
+        profiler: optional
+            :class:`~repro.obs.profile.ResourceSampler` bracketing each
+            incarnation's live execution.
     """
 
     def __init__(
@@ -123,6 +131,8 @@ class RecoverySession:
         session_meta: dict | None = None,
         streaming: bool = False,
         window: int = 64,
+        progress=None,
+        profiler=None,
     ) -> None:
         self.state = state
         self.event = event
@@ -137,6 +147,8 @@ class RecoverySession:
         self.session_meta = dict(session_meta or {})
         self.streaming = streaming
         self.window = window
+        self.progress = progress
+        self.profiler = profiler
         if streaming and injector is not None:
             raise ConfigurationError(
                 "streaming sessions cannot inject helper faults; use the "
@@ -154,6 +166,7 @@ class RecoverySession:
             rebalance=self.rebalance,
             tracer=self.tracer,
             journal=journal,
+            profiler=self.profiler,
         )
 
     def _solve(self) -> MultiStripeSolution:
@@ -194,7 +207,7 @@ class RecoverySession:
         """
         plan = plan_recovery(self.state, self.event, solution)
         result = self._executor(journal).execute_streaming(
-            plan, solution, window=self.window
+            plan, solution, window=self.window, progress=self.progress
         )
         # Fault-free by construction (no injector): wrap in the shape
         # _package consumes, with an empty fault record.

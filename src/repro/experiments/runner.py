@@ -126,13 +126,20 @@ class ExperimentRunner:
             span trace and a fresh per-run metrics registry (shipped
             back from worker processes as plain dicts), and
             :meth:`run_all` persists ``trace.jsonl`` (each record
-            annotated with its run index) and ``metrics.json`` (the
+            annotated with its run index), ``metrics.json`` (the
             per-run registries merged in run order — identical for any
-            worker count) into the directory.
+            worker count), and ``profile.jsonl`` (coordinator resource
+            samples over the batch) into the directory.
         placement_policy: forwarded to
             :func:`~repro.experiments.configs.build_state` — the regen
             experiment runs its rack-aware MSR arm on the
             ``"rack_aligned"`` layout.
+        profile_interval: seconds between resource samples of the
+            batch-wide :class:`~repro.obs.profile.ResourceSampler`
+            (only active when ``telemetry`` is set).  The sampler runs
+            in the coordinator process only and folds into
+            ``metrics.json`` as ``profile.*`` gauges *after* workers
+            finish, so the snapshot stays worker-count invariant.
     """
 
     def __init__(
@@ -143,6 +150,7 @@ class ExperimentRunner:
         num_stripes: int | None = None,
         telemetry: str | Path | None = None,
         placement_policy: str = "random",
+        profile_interval: float = 0.05,
     ) -> None:
         self.config = config
         self.runs = runs
@@ -150,6 +158,7 @@ class ExperimentRunner:
         self.num_stripes = num_stripes
         self.telemetry = Path(telemetry) if telemetry is not None else None
         self.placement_policy = placement_policy
+        self.profile_interval = profile_interval
 
     def run_all(
         self,
@@ -177,37 +186,53 @@ class ExperimentRunner:
         """
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
-        if workers is None or workers == 1 or self.runs <= 1:
-            results = [
-                self.run_one(i, strategy_factories) for i in range(self.runs)
-            ]
-            return self._persist_telemetry(results)
-        # Probe picklability exactly once and keep the payload: every
-        # submit ships the already-serialised bytes instead of
-        # re-pickling the factory dict per run.
-        try:
-            payload = pickle.dumps(strategy_factories)
-        except Exception as exc:
-            raise ConfigurationError(
-                "strategy factories must be picklable for workers > 1 "
-                "(lambdas are not; use repro.experiments.factories)"
-            ) from exc
-        with ProcessPoolExecutor(
-            max_workers=min(workers, self.runs)
-        ) as pool:
-            futures = [
-                pool.submit(_run_one_from_payload, self, i, payload)
-                for i in range(self.runs)
-            ]
-            results = [f.result() for f in futures]
-        return self._persist_telemetry(results)
+        sampler = None
+        if self.telemetry is not None:
+            from repro.obs.profile import ResourceSampler
 
-    def _persist_telemetry(self, results: list[RunResult]) -> list[RunResult]:
+            sampler = ResourceSampler(interval=self.profile_interval).start()
+        try:
+            if workers is None or workers == 1 or self.runs <= 1:
+                results = [
+                    self.run_one(i, strategy_factories)
+                    for i in range(self.runs)
+                ]
+                return self._persist_telemetry(results, sampler)
+            # Probe picklability exactly once and keep the payload: every
+            # submit ships the already-serialised bytes instead of
+            # re-pickling the factory dict per run.
+            try:
+                payload = pickle.dumps(strategy_factories)
+            except Exception as exc:
+                raise ConfigurationError(
+                    "strategy factories must be picklable for workers > 1 "
+                    "(lambdas are not; use repro.experiments.factories)"
+                ) from exc
+            with ProcessPoolExecutor(
+                max_workers=min(workers, self.runs)
+            ) as pool:
+                futures = [
+                    pool.submit(_run_one_from_payload, self, i, payload)
+                    for i in range(self.runs)
+                ]
+                results = [f.result() for f in futures]
+            return self._persist_telemetry(results, sampler)
+        finally:
+            if sampler is not None:
+                sampler.stop()
+
+    def _persist_telemetry(
+        self, results: list[RunResult], sampler=None
+    ) -> list[RunResult]:
         """Write the aggregate trace + metrics of a telemetry-enabled batch.
 
         Per-run snapshots merge in run order, so the ``metrics.json``
         aggregate is bit-identical for any worker count; the cache
-        section reflects this (parent) process only.
+        section reflects this (parent) process only.  The batch-wide
+        resource sampler (coordinator process only) lands as
+        ``profile.jsonl`` plus ``profile.*`` gauges in the merged
+        snapshot — gauges are last-write-wins on merge, so they too are
+        identical for any worker count.
         """
         if self.telemetry is None:
             return results
@@ -225,6 +250,10 @@ class ExperimentRunner:
                                    sort_keys=True)
                         + "\n"
                     )
+        if sampler is not None:
+            sampler.stop()
+            sampler.merge_into(merged)
+            sampler.write_jsonl(self.telemetry / "profile.jsonl")
         merged.write_json(self.telemetry / "metrics.json")
         return results
 
@@ -358,6 +387,7 @@ def run_durable_recovery(
     crash_after_records: int | None = None,
     streaming: bool = False,
     window: int = 64,
+    progress=None,
 ):
     """One journalled recovery run on ``config`` (paper methodology).
 
@@ -384,7 +414,7 @@ def run_durable_recovery(
         state, event, _durable_strategy(strategy, seed), journal_path,
         injector=injector, backoff=backoff,
         crash_after_records=crash_after_records,
-        streaming=streaming, window=window,
+        streaming=streaming, window=window, progress=progress,
         session_meta={
             "config": config.name,
             "seed": seed,
@@ -401,6 +431,7 @@ def resume_durable_recovery(
     crash_after_records: int | None = None,
     streaming: bool = False,
     window: int = 64,
+    progress=None,
 ):
     """Resume a crashed durable run from its journal, in any process.
 
@@ -443,6 +474,6 @@ def resume_durable_recovery(
         _durable_strategy(header["strategy_label"], header["seed"]),
         journal_path,
         crash_after_records=crash_after_records,
-        streaming=streaming, window=window,
+        streaming=streaming, window=window, progress=progress,
     )
     return session.resume()

@@ -139,12 +139,14 @@ class RobustExecutor(PlanExecutor):
         tracer: Tracer | NullTracer | None = None,
         journal=None,
         verify_integrity: bool = True,
+        profiler=None,
     ) -> None:
         super().__init__(
             state,
             tracer=tracer,
             journal=journal,
             verify_integrity=verify_integrity,
+            profiler=profiler,
         )
         self.injector = injector or FaultInjector()
         self.backoff = backoff or BackoffPolicy()

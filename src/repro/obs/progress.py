@@ -1,0 +1,214 @@
+"""Live progress for streaming/durable recoveries: heartbeats + TTY line.
+
+Multi-minute streaming recoveries were previously silent until the
+final summary.  A :class:`ProgressReporter` fixes that without touching
+the hot loop's cost model: the executor calls :meth:`update` once per
+*window* (never per stripe) with absolute counters, and the reporter
+decides — against its own clock and a configurable interval — whether
+to emit a heartbeat.
+
+Each heartbeat is one JSONL-ready dict carrying stripes done,
+throughput (overall stripes/s), windows committed, traffic by scope,
+journal lag (intents written but not yet committed — the crash-exposure
+window of a durable run), and an ETA extrapolated from the overall
+rate.  Sinks are composable: a callable per heartbeat (e.g.
+:func:`jsonl_sink`), and/or a text stream — a carriage-return status
+line when the stream is a TTY (opt-in via ``tty=True``), one plain
+line per heartbeat otherwise.
+
+With no reporter attached the executor pays one ``is None`` check per
+window; a reporter whose interval has not elapsed pays one clock read.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+__all__ = ["ProgressReporter", "jsonl_sink"]
+
+
+def jsonl_sink(path: str | Path):
+    """A heartbeat sink appending one JSON line per heartbeat to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fh = path.open("w", encoding="utf-8")
+
+    def sink(beat: dict) -> None:
+        fh.write(json.dumps(beat, sort_keys=True) + "\n")
+        fh.flush()
+
+    sink.close = fh.close  # type: ignore[attr-defined]
+    return sink
+
+
+def _rate(value: float) -> str:
+    return f"{value:,.0f}" if value >= 10 else f"{value:.2f}"
+
+
+def _eta(seconds: float | None) -> str:
+    if seconds is None:
+        return "?"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+class ProgressReporter:
+    """Rate-limited progress heartbeats for one recovery run.
+
+    Args:
+        total_stripes: expected stripe count (None = unknown; ETA and
+            percentage are omitted).
+        interval: minimum seconds between heartbeats.  The first
+            :meth:`update` and :meth:`finish` always emit.
+        sink: callable invoked with each heartbeat dict.
+        stream: text stream for the human-readable form.
+        tty: render a carriage-return status line on ``stream``
+            (opt-in; the caller decides whether the stream is a
+            terminal).  Ignored when ``stream`` is None.
+        clock: injectable time source (monotonic seconds).
+
+    All counters passed to :meth:`update` are absolute totals, not
+    deltas — the reporter is stateless about the run beyond its start
+    time, so late attachment or resumed sessions just work.
+    """
+
+    def __init__(
+        self,
+        total_stripes: int | None = None,
+        *,
+        interval: float = 1.0,
+        sink=None,
+        stream=None,
+        tty: bool = False,
+        clock=time.monotonic,
+    ) -> None:
+        if interval < 0:
+            raise ValueError(f"interval must be >= 0, got {interval}")
+        self.total_stripes = total_stripes
+        self.interval = interval
+        self.sink = sink
+        self.stream = stream
+        self.tty = tty
+        self.clock = clock
+        self.heartbeats = 0
+        self._start = clock()
+        self._last_emit: float | None = None
+        self._needs_newline = False
+
+    # -- executor-facing API --------------------------------------------
+
+    def update(
+        self,
+        stripes_done: int,
+        *,
+        windows_done: int = 0,
+        cross_rack_bytes: int = 0,
+        intra_rack_bytes: int = 0,
+        journal_lag: int = 0,
+        final: bool = False,
+    ) -> dict | None:
+        """Record progress; emit a heartbeat if the interval elapsed.
+
+        Returns:
+            The heartbeat dict when one was emitted, else None.
+        """
+        now = self.clock()
+        if (
+            not final
+            and self._last_emit is not None
+            and now - self._last_emit < self.interval
+        ):
+            return None
+        self._last_emit = now
+        elapsed = now - self._start
+        rate = stripes_done / elapsed if elapsed > 0 else 0.0
+        eta = None
+        if (
+            self.total_stripes is not None
+            and rate > 0
+            and stripes_done < self.total_stripes
+        ):
+            eta = (self.total_stripes - stripes_done) / rate
+        beat = {
+            "type": "progress",
+            "t": elapsed,
+            "stripes_done": stripes_done,
+            "total_stripes": self.total_stripes,
+            "stripes_per_second": rate,
+            "windows_done": windows_done,
+            "cross_rack_bytes": cross_rack_bytes,
+            "intra_rack_bytes": intra_rack_bytes,
+            "journal_lag": journal_lag,
+            "eta_seconds": eta,
+            "final": final,
+        }
+        self.heartbeats += 1
+        if self.sink is not None:
+            self.sink(beat)
+        if self.stream is not None:
+            self._render(beat)
+        return beat
+
+    def finish(
+        self,
+        stripes_done: int,
+        *,
+        windows_done: int = 0,
+        cross_rack_bytes: int = 0,
+        intra_rack_bytes: int = 0,
+        journal_lag: int = 0,
+    ) -> dict:
+        """Emit the final heartbeat unconditionally and close the line."""
+        beat = self.update(
+            stripes_done,
+            windows_done=windows_done,
+            cross_rack_bytes=cross_rack_bytes,
+            intra_rack_bytes=intra_rack_bytes,
+            journal_lag=journal_lag,
+            final=True,
+        )
+        if self.stream is not None and self.tty and self._needs_newline:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._needs_newline = False
+        close = getattr(self.sink, "close", None)
+        if close is not None:
+            close()
+        return beat
+
+    # -- rendering -------------------------------------------------------
+
+    def format_line(self, beat: dict) -> str:
+        """The one-line human-readable form of a heartbeat."""
+        done = beat["stripes_done"]
+        total = beat["total_stripes"]
+        progress = (
+            f"{done}/{total} ({done / total:.0%})"
+            if total
+            else f"{done} stripes"
+        )
+        parts = [
+            f"recovery {progress}",
+            f"{_rate(beat['stripes_per_second'])} stripes/s",
+            f"{beat['windows_done']} windows",
+            f"cross-rack {beat['cross_rack_bytes']:,} B",
+        ]
+        if beat["journal_lag"]:
+            parts.append(f"journal lag {beat['journal_lag']}")
+        if not beat["final"]:
+            parts.append(f"ETA {_eta(beat['eta_seconds'])}")
+        return " | ".join(parts)
+
+    def _render(self, beat: dict) -> None:
+        line = self.format_line(beat)
+        if self.tty:
+            self.stream.write("\r\x1b[K" + line)
+            self._needs_newline = True
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()

@@ -30,6 +30,12 @@ def _seconds(value: float) -> str:
     return f"{value:.6f}" if value < 10 else f"{value:.3f}"
 
 
+def _attrs(record: dict) -> dict:
+    """A record's attrs, tolerating hand-written/truncated traces."""
+    attrs = record.get("attrs")
+    return attrs if isinstance(attrs, dict) else {}
+
+
 def render_trace(events: list[dict]) -> str:
     """Summarise a JSONL trace: spans, stages, racks, faults, sim time."""
     spans = [e for e in events if e.get("type") == "span"]
@@ -67,7 +73,7 @@ def render_trace(events: list[dict]) -> str:
     if stage_events:
         by_stage: dict[str, TallyCounter] = defaultdict(TallyCounter)
         for p in stage_events:
-            by_stage[p["attrs"].get("stage", "?")][p["attrs"].get("rack")] += 1
+            by_stage[_attrs(p).get("stage", "?")][_attrs(p).get("rack")] += 1
         rows = [
             [
                 stage,
@@ -82,7 +88,7 @@ def render_trace(events: list[dict]) -> str:
         )
         by_rack: TallyCounter = TallyCounter()
         for p in stage_events:
-            by_rack[p["attrs"].get("rack")] += 1
+            by_rack[_attrs(p).get("rack")] += 1
         rows = [
             [str(rack), str(count)]
             for rack, count in sorted(by_rack.items(), key=lambda kv: str(kv[0]))
@@ -104,7 +110,7 @@ def render_trace(events: list[dict]) -> str:
     sim_spans = [s for s in spans if s["name"] == "sim.stripe"]
     if sim_spans:
         keys = ("read_s", "transfer_s", "aggregate_s", "decode_s", "fault_s")
-        totals = {k: sum(s["attrs"].get(k, 0.0) for s in sim_spans) for k in keys}
+        totals = {k: sum(_attrs(s).get(k, 0.0) for s in sim_spans) for k in keys}
         rows = [[k.removesuffix("_s"), _seconds(v)] for k, v in totals.items()]
         parts.append(
             f"Simulated time breakdown ({len(sim_spans)} stripes)\n"

@@ -64,6 +64,8 @@ from repro.recovery.solution import MultiStripeSolution, PerStripeSolution
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.durable.journal import RecoveryJournal
+    from repro.obs.profile import ResourceSampler
+    from repro.obs.progress import ProgressReporter
 
 __all__ = ["PipelineStage", "ExecutionResult", "PlanExecutor"]
 
@@ -152,6 +154,7 @@ class PlanExecutor:
         *,
         journal: "RecoveryJournal | None" = None,
         verify_integrity: bool = False,
+        profiler: "ResourceSampler | None" = None,
     ) -> None:
         if state.data is None:
             raise PlanError("executing a plan requires a DataStore")
@@ -159,6 +162,10 @@ class PlanExecutor:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.journal = journal
         self.verify_integrity = verify_integrity
+        # Optional background resource sampler bracketing execute /
+        # execute_streaming.  One ``is None`` check per call; stripes
+        # never see it.
+        self.profiler = profiler
 
     def execute(
         self, plan: RecoveryPlan, solution: MultiStripeSolution
@@ -170,6 +177,14 @@ class PlanExecutor:
             solution: the solution the plan was built from (supplies the
                 helper grouping for the repair-vector split).
         """
+        if self.profiler is not None:
+            with self.profiler:
+                return self._execute_eager(plan, solution)
+        return self._execute_eager(plan, solution)
+
+    def _execute_eager(
+        self, plan: RecoveryPlan, solution: MultiStripeSolution
+    ) -> ExecutionResult:
         result = ExecutionResult()
         # Indexed once: stripe_plan_for's linear scan is fine for a
         # stripe or two but quadratic over a whole plan.
@@ -192,6 +207,7 @@ class PlanExecutor:
         workers: int | None = None,
         shm: bool | None = None,
         sink=None,
+        progress: "ProgressReporter | None" = None,
     ) -> ExecutionResult:
         """Execute a plan in bounded-memory stripe windows.
 
@@ -232,12 +248,43 @@ class PlanExecutor:
                 When given, rebuilt chunks are handed off instead of
                 accumulated in ``result.reconstructed`` — the O(stripes)
                 retention an eager result cannot avoid.
+            progress: optional
+                :class:`~repro.obs.progress.ProgressReporter`, updated
+                once per shipped window (stripes done, windows, traffic,
+                journal lag) and finished when the run completes.  The
+                per-window cost with no reporter is one ``is None``
+                check.
 
         Raises:
             PlanError: bad window, or plan/solution mismatch.
             ConfigurationError: ``workers > 1`` with a journal or
                 integrity verification attached.
         """
+        if self.profiler is not None:
+            with self.profiler:
+                return self._execute_streaming(
+                    plan, solution, window=window, batch=batch,
+                    pipelined=pipelined, workers=workers, shm=shm,
+                    sink=sink, progress=progress,
+                )
+        return self._execute_streaming(
+            plan, solution, window=window, batch=batch, pipelined=pipelined,
+            workers=workers, shm=shm, sink=sink, progress=progress,
+        )
+
+    def _execute_streaming(
+        self,
+        plan: RecoveryPlan | StreamingRecoveryPlan,
+        solution: MultiStripeSolution | None = None,
+        *,
+        window: int = 64,
+        batch: bool = True,
+        pipelined: bool = True,
+        workers: int | None = None,
+        shm: bool | None = None,
+        sink=None,
+        progress: "ProgressReporter | None" = None,
+    ) -> ExecutionResult:
         from repro.recovery import streaming as _streaming
 
         if window < 1:
@@ -249,7 +296,7 @@ class PlanExecutor:
             return _streaming.execute_parallel(
                 self, pairs, aggregated, repl,
                 window=window, workers=workers, batch=batch, shm=shm,
-                sink=sink,
+                sink=sink, progress=progress,
             )
         # The quiet path — no tracing, no metrics, no journal, no
         # integrity pipeline — ships each stripe with pure accounting:
@@ -269,6 +316,8 @@ class PlanExecutor:
         result = ExecutionResult()
         code, data = self.state.code, self.state.data
         spans: list[tuple] = []
+        intents = 0
+        windows_done = 0
         pool = ThreadPoolExecutor(max_workers=1) if overlap else None
         try:
             pending = None
@@ -283,6 +332,7 @@ class PlanExecutor:
                             aggregated=aggregated,
                             lost_chunk=sol.lost_chunk,
                         )
+                    intents += len(win)
                 if pool is not None:
                     computed = pool.submit(
                         _streaming.compute_window, code, data, win,
@@ -297,23 +347,57 @@ class PlanExecutor:
                     self._ship_window(
                         pending, result, aggregated, repl, fast, sink, spans
                     )
+                    windows_done += 1
+                    if progress is not None:
+                        self._report_progress(
+                            progress, result, windows_done, intents
+                        )
                 pending = (idx, computed)
             if pending is not None:
                 self._ship_window(
                     pending, result, aggregated, repl, fast, sink, spans
                 )
+                windows_done += 1
         finally:
             if pool is not None:
                 pool.shutdown(wait=True, cancel_futures=True)
+        if progress is not None:
+            self._report_progress(
+                progress, result, windows_done, intents, final=True
+            )
         if self.tracer.enabled:
-            for idx, n, a0, a1, b0, b1 in spans:
+            for idx, n, a0, a1, b0, b1, cross, intra in spans:
                 self.tracer.emit_span(
                     "exec.stream.aggregate", a0, a1, window=idx, stripes=n
                 )
                 self.tracer.emit_span(
-                    "exec.stream.ship", b0, b1, window=idx, stripes=n
+                    "exec.stream.ship", b0, b1, window=idx, stripes=n,
+                    cross_rack_bytes=cross, intra_rack_bytes=intra,
                 )
         return result
+
+    def _report_progress(
+        self,
+        progress: "ProgressReporter",
+        result: ExecutionResult,
+        windows_done: int,
+        intents: int,
+        final: bool = False,
+    ) -> None:
+        """One rate-limited heartbeat from the current result totals.
+
+        Journal lag is the crash-exposure window: intents written whose
+        commits have not landed yet.
+        """
+        done = len(result.per_stripe_ok)
+        update = progress.finish if final else progress.update
+        update(
+            done,
+            windows_done=windows_done,
+            cross_rack_bytes=result.cross_rack_bytes,
+            intra_rack_bytes=result.intra_rack_bytes,
+            journal_lag=max(0, intents - done) if self.journal else 0,
+        )
 
     def _stream_pairs(
         self,
@@ -356,13 +440,19 @@ class PlanExecutor:
         else:
             outcomes, a0, a1 = computed.result()
         b0 = time.perf_counter()
+        before_cross = result.cross_rack_bytes
+        before_intra = result.intra_rack_bytes
         for outcome in outcomes:
             if fast:
                 self._ship_stripe_fast(outcome, result, aggregated, repl, sink)
             else:
                 self._ship_stripe_full(outcome, result, aggregated, repl, sink)
         if self.tracer.enabled:
-            spans.append((idx, len(outcomes), a0, a1, b0, time.perf_counter()))
+            spans.append(
+                (idx, len(outcomes), a0, a1, b0, time.perf_counter(),
+                 result.cross_rack_bytes - before_cross,
+                 result.intra_rack_bytes - before_intra)
+            )
 
     def _ship_stripe_fast(
         self, outcome, result, aggregated, repl, sink

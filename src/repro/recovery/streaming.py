@@ -349,6 +349,7 @@ def execute_parallel(
     batch: bool,
     shm: bool | None,
     sink=None,
+    progress=None,
 ):
     """Fan stripe windows out over worker processes (fast path only).
 
@@ -400,6 +401,7 @@ def execute_parallel(
             futures = [
                 pool.submit(_run_window, win) for win in windows(pairs, window)
             ]
+            windows_done = 0
             for fut in futures:
                 for sid, rebuilt, ok, cross, intra, charges in fut.result():
                     if sink is not None:
@@ -413,6 +415,21 @@ def execute_parallel(
                         result.bytes_computed_by_node[node] = (
                             result.bytes_computed_by_node.get(node, 0) + nbytes
                         )
+                windows_done += 1
+                if progress is not None:
+                    progress.update(
+                        len(result.per_stripe_ok),
+                        windows_done=windows_done,
+                        cross_rack_bytes=result.cross_rack_bytes,
+                        intra_rack_bytes=result.intra_rack_bytes,
+                    )
+            if progress is not None:
+                progress.finish(
+                    len(result.per_stripe_ok),
+                    windows_done=windows_done,
+                    cross_rack_bytes=result.cross_rack_bytes,
+                    intra_rack_bytes=result.intra_rack_bytes,
+                )
     finally:
         if shared is not None:
             shared.close()

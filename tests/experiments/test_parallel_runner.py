@@ -88,6 +88,17 @@ class TestTelemetryAggregation:
         results = runner.run_all(FACTORIES, workers=2)
         written = json.loads((tmp_path / "out" / "metrics.json").read_text())
         merged = runner.merged_metrics(results).snapshot(include_caches=True)
+        # The written file additionally carries the coordinator's
+        # resource-profile gauges, sampled once in the parent process.
+        profile = {
+            k: v for k, v in written["metrics"].items()
+            if k.startswith("profile.")
+        }
+        assert profile["profile.samples"]["kind"] == "gauge"
+        written["metrics"] = {
+            k: v for k, v in written["metrics"].items()
+            if not k.startswith("profile.")
+        }
         assert written == json.loads(json.dumps(merged))
 
     def test_trace_records_annotated_with_run_index(self, tmp_path):

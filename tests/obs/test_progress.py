@@ -1,0 +1,219 @@
+"""Progress reporter: rate limiting, ETA, sinks, TTY rendering."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import ProgressReporter, jsonl_sink
+
+
+class FakeClock:
+    """Manually advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+def reporter(**kwargs):
+    clock = FakeClock()
+    kwargs.setdefault("clock", clock)
+    return ProgressReporter(**kwargs), clock
+
+
+class TestRateLimiting:
+    def test_first_update_always_emits(self):
+        rep, clock = reporter(interval=1.0)
+        clock.advance(0.001)
+        assert rep.update(1) is not None
+
+    def test_updates_within_interval_suppressed(self):
+        rep, clock = reporter(interval=1.0)
+        clock.advance(0.1)
+        assert rep.update(1) is not None
+        clock.advance(0.5)
+        assert rep.update(2) is None
+        clock.advance(0.6)
+        assert rep.update(3) is not None
+        assert rep.heartbeats == 2
+
+    def test_final_update_bypasses_interval(self):
+        rep, clock = reporter(interval=100.0)
+        clock.advance(0.1)
+        rep.update(1)
+        clock.advance(0.1)
+        assert rep.update(2, final=True) is not None
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            ProgressReporter(interval=-1)
+
+
+class TestBeatContents:
+    def test_rate_and_eta(self):
+        rep, clock = reporter(total_stripes=100, interval=0.0)
+        clock.advance(2.0)
+        beat = rep.update(50)
+        assert beat["stripes_per_second"] == pytest.approx(25.0)
+        assert beat["eta_seconds"] == pytest.approx(2.0)
+        assert beat["total_stripes"] == 100
+
+    def test_eta_omitted_without_total(self):
+        rep, clock = reporter(interval=0.0)
+        clock.advance(1.0)
+        assert rep.update(10)["eta_seconds"] is None
+
+    def test_eta_omitted_when_done(self):
+        rep, clock = reporter(total_stripes=10, interval=0.0)
+        clock.advance(1.0)
+        assert rep.update(10)["eta_seconds"] is None
+
+    def test_counters_are_absolute(self):
+        rep, clock = reporter(interval=0.0)
+        clock.advance(1.0)
+        beat = rep.update(
+            7, windows_done=2, cross_rack_bytes=4096,
+            intra_rack_bytes=512, journal_lag=3,
+        )
+        assert beat["stripes_done"] == 7
+        assert beat["windows_done"] == 2
+        assert beat["cross_rack_bytes"] == 4096
+        assert beat["intra_rack_bytes"] == 512
+        assert beat["journal_lag"] == 3
+        assert beat["final"] is False
+
+
+class TestSinks:
+    def test_jsonl_sink_appends_and_closes(self, tmp_path):
+        path = tmp_path / "progress.jsonl"
+        rep, clock = reporter(
+            total_stripes=4, interval=0.0, sink=jsonl_sink(path)
+        )
+        clock.advance(1.0)
+        rep.update(2)
+        clock.advance(1.0)
+        rep.finish(4, windows_done=1)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["type"] == "progress"
+        assert lines[-1]["final"] is True
+        assert lines[-1]["stripes_done"] == 4
+
+    def test_plain_stream_writes_one_line_per_beat(self):
+        stream = io.StringIO()
+        rep, clock = reporter(total_stripes=4, interval=0.0, stream=stream)
+        clock.advance(1.0)
+        rep.update(2)
+        rep.finish(4)
+        out = stream.getvalue()
+        assert out.count("\n") == 2
+        assert "2/4 (50%)" in out
+
+    def test_tty_stream_rewrites_line_and_closes(self):
+        stream = io.StringIO()
+        rep, clock = reporter(
+            total_stripes=4, interval=0.0, stream=stream, tty=True
+        )
+        clock.advance(1.0)
+        rep.update(2)
+        rep.finish(4)
+        out = stream.getvalue()
+        assert out.count("\r\x1b[K") == 2
+        assert out.endswith("\n")
+
+
+class TestFormatLine:
+    def test_line_contents(self):
+        rep, clock = reporter(total_stripes=200, interval=0.0)
+        clock.advance(2.0)
+        beat = rep.update(
+            100, windows_done=5, cross_rack_bytes=1 << 20, journal_lag=4
+        )
+        line = rep.format_line(beat)
+        assert "100/200 (50%)" in line
+        assert "stripes/s" in line
+        assert "5 windows" in line
+        assert "journal lag 4" in line
+        assert "ETA 2s" in line
+
+    def test_unknown_total(self):
+        rep, clock = reporter(interval=0.0)
+        clock.advance(1.0)
+        line = rep.format_line(rep.update(42))
+        assert "42 stripes" in line
+        assert "ETA ?" in line
+
+
+class TestStreamingExecutorIntegration:
+    def _setup(self, stripes=24, seed=3, chunk=64):
+        from repro.cluster.failure import FailureInjector
+        from repro.experiments.configs import build_state
+        from repro.experiments import CFS1
+        from repro.recovery import CarStrategy, plan_recovery_streaming
+
+        state = build_state(CFS1, seed=seed, with_data=True,
+                            chunk_size=chunk, num_stripes=stripes)
+        event = FailureInjector(rng=seed).fail_random_node(state)
+        solution = CarStrategy().solve(state)
+        plan = plan_recovery_streaming(state, event, solution)
+        return state, plan, len(solution.solutions)
+
+    def test_serial_streaming_reports_progress(self):
+        from repro.recovery import PlanExecutor
+
+        state, plan, affected = self._setup()
+        beats = []
+        rep = ProgressReporter(
+            total_stripes=affected, interval=0.0, sink=beats.append
+        )
+        result = PlanExecutor(state).execute_streaming(
+            plan, window=8, progress=rep
+        )
+        assert result.verified
+        assert beats[-1]["final"] is True
+        assert beats[-1]["stripes_done"] == affected
+        assert beats[-1]["windows_done"] >= 1
+        assert beats[-1]["cross_rack_bytes"] == result.cross_rack_bytes
+        # Counters never go backwards.
+        done = [b["stripes_done"] for b in beats]
+        assert done == sorted(done)
+
+    def test_journal_lag_reported_for_durable_streaming(self, tmp_path):
+        from repro.durable.journal import RecoveryJournal
+        from repro.recovery import PlanExecutor
+
+        state, plan, affected = self._setup()
+        journal = RecoveryJournal(tmp_path / "j.jsonl")
+        journal.begin_session({"stripes": list(range(affected))})
+        beats = []
+        rep = ProgressReporter(interval=0.0, sink=beats.append)
+        result = PlanExecutor(state, journal=journal).execute_streaming(
+            plan, window=8, progress=rep
+        )
+        journal.end_session(committed=affected)
+        journal.close()
+        assert result.verified
+        # All intents committed by the end: lag drains to zero.
+        assert beats[-1]["journal_lag"] == 0
+        assert all(b["journal_lag"] >= 0 for b in beats)
+
+    def test_parallel_streaming_reports_progress(self):
+        from repro.recovery import PlanExecutor
+
+        state, plan, affected = self._setup(stripes=32)
+        beats = []
+        rep = ProgressReporter(
+            total_stripes=affected, interval=0.0, sink=beats.append
+        )
+        result = PlanExecutor(state).execute_streaming(
+            plan, window=8, workers=2, shm=False, progress=rep
+        )
+        assert result.verified
+        assert beats[-1]["final"] is True
+        assert beats[-1]["stripes_done"] == affected

@@ -1,0 +1,260 @@
+"""Bench regression gate: directions, tolerance, history, CLI exit codes."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.regress import (
+    append_history,
+    compare,
+    history_entry,
+    load_bench,
+    metric_direction,
+    render_comparison,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+TOOLS = REPO / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import bench_compare  # noqa: E402  (tools/ is not a package)
+
+BASELINES = [
+    REPO / name
+    for name in ("BENCH_kernels.json", "BENCH_durable.json",
+                 "BENCH_stream.json", "BENCH_regen.json")
+]
+
+
+def bench_artifact(benches: dict) -> dict:
+    """A minimal pytest-benchmark JSON payload."""
+    return {
+        "benchmarks": [
+            {
+                "name": name,
+                "stats": {"mean": spec["mean"]},
+                "extra_info": spec.get("extra", {}),
+            }
+            for name, spec in benches.items()
+        ]
+    }
+
+
+def write_artifact(path: Path, benches: dict) -> Path:
+    path.write_text(json.dumps(bench_artifact(benches)))
+    return path
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize(
+        "name, direction",
+        [
+            ("mean_seconds", "lower"),
+            ("elapsed_seconds", "lower"),
+            ("peak_alloc_bytes", "lower"),
+            ("peak_rss_kib", "lower"),
+            ("stripes_per_second", "higher"),
+            ("speedup_stripes_per_second", "higher"),
+            ("cache_hit_rate", "higher"),
+            ("peak_memory_ratio_eager_over_streaming", "higher"),
+            ("num_stripes", None),
+            ("window", None),
+        ],
+    )
+    def test_directions(self, name, direction):
+        assert metric_direction(name) == direction
+
+
+class TestLoadBench:
+    @pytest.mark.parametrize("path", BASELINES, ids=lambda p: p.stem)
+    def test_committed_baselines_load(self, path):
+        loaded = load_bench(path)
+        assert loaded["suite"] == path.stem
+        assert loaded["benchmarks"]
+        for entry in loaded["benchmarks"].values():
+            assert entry["mean_seconds"] > 0
+
+    def test_stream_baseline_keeps_numeric_extras(self):
+        loaded = load_bench(REPO / "BENCH_stream.json")
+        (entry,) = loaded["benchmarks"].values()
+        assert "streaming_stripes_per_second" in entry["extra"]
+        assert all(
+            isinstance(v, (int, float)) for v in entry["extra"].values()
+        )
+
+    def test_not_a_bench_artifact(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"something": "else"}')
+        with pytest.raises(ValueError, match="not a pytest-benchmark"):
+            load_bench(path)
+
+    def test_malformed_entry(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"benchmarks": [{"name": "b", "stats": {}}]}')
+        with pytest.raises(ValueError, match="malformed"):
+            load_bench(path)
+
+
+class TestCompare:
+    @pytest.mark.parametrize("path", BASELINES, ids=lambda p: p.stem)
+    def test_baseline_self_compare_passes(self, path):
+        loaded = load_bench(path)
+        report = compare(loaded, loaded, tolerance=0.0)
+        assert report.ok
+        assert not report.missing and not report.new
+
+    def test_twenty_percent_throughput_drop_flagged(self):
+        """The acceptance criterion: a synthetic >=20% throughput
+        regression fails the comparison at 10% tolerance."""
+        base = load_bench_dict(
+            {"stream": {"mean": 1.0, "extra": {"stripes_per_second": 1000.0}}}
+        )
+        fresh = load_bench_dict(
+            {"stream": {"mean": 1.0, "extra": {"stripes_per_second": 800.0}}}
+        )
+        report = compare(base, fresh, tolerance=0.1)
+        assert not report.ok
+        (delta,) = report.regressions
+        assert delta.metric == "stripes_per_second"
+        assert delta.direction == "higher"
+        assert delta.ratio == pytest.approx(0.8)
+
+    def test_wall_time_regresses_upward(self):
+        base = load_bench_dict({"k": {"mean": 1.0}})
+        slow = load_bench_dict({"k": {"mean": 1.3}})
+        fast = load_bench_dict({"k": {"mean": 0.7}})
+        assert not compare(base, slow, tolerance=0.2).ok
+        report = compare(base, fast, tolerance=0.2)
+        assert report.ok
+        assert report.improvements
+
+    def test_within_tolerance_passes(self):
+        base = load_bench_dict({"k": {"mean": 1.0}})
+        fresh = load_bench_dict({"k": {"mean": 1.15}})
+        report = compare(base, fresh, tolerance=0.25)
+        assert report.ok and not report.improvements
+
+    def test_one_sided_benches_reported_not_fatal(self):
+        base = load_bench_dict({"a": {"mean": 1.0}, "b": {"mean": 1.0}})
+        fresh = load_bench_dict({"b": {"mean": 1.0}, "c": {"mean": 1.0}})
+        report = compare(base, fresh, tolerance=0.1)
+        assert report.ok
+        assert report.missing == ["a"]
+        assert report.new == ["c"]
+
+    def test_informational_extras_not_compared(self):
+        base = load_bench_dict(
+            {"k": {"mean": 1.0, "extra": {"num_stripes": 100}}}
+        )
+        fresh = load_bench_dict(
+            {"k": {"mean": 1.0, "extra": {"num_stripes": 5}}}
+        )
+        assert compare(base, fresh, tolerance=0.0).ok
+
+    def test_negative_tolerance_rejected(self):
+        base = load_bench_dict({"k": {"mean": 1.0}})
+        with pytest.raises(ValueError, match="tolerance"):
+            compare(base, base, tolerance=-0.1)
+
+    def test_render_names_regressions_first(self):
+        base = load_bench_dict({"a": {"mean": 1.0}, "b": {"mean": 1.0}})
+        fresh = load_bench_dict({"a": {"mean": 1.0}, "b": {"mean": 5.0}})
+        out = render_comparison(compare(base, fresh, tolerance=0.2))
+        assert "REGRESSED" in out
+        assert out.index("b") < out.index("a  ")
+        assert "1 regression(s)" in out
+
+
+def load_bench_dict(benches: dict) -> dict:
+    """Build a load_bench-shaped payload from a compact spec."""
+    return {
+        "suite": "synthetic",
+        "benchmarks": {
+            name: {
+                "mean_seconds": spec["mean"],
+                "extra": spec.get("extra", {}),
+            }
+            for name, spec in benches.items()
+        },
+    }
+
+
+class TestHistory:
+    def test_entry_and_append(self, tmp_path):
+        loaded = load_bench(REPO / "BENCH_stream.json")
+        entry = history_entry(loaded, "2026-08-08")
+        assert entry["suite"] == "BENCH_stream"
+        assert entry["timestamp"] == "2026-08-08"
+        path = tmp_path / "hist.jsonl"
+        append_history(path, entry)
+        append_history(path, history_entry(loaded, "2026-08-09", label="x"))
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [e["timestamp"] for e in lines] == ["2026-08-08", "2026-08-09"]
+        assert lines[1]["suite"] == "x"
+
+    def test_committed_history_parses_and_covers_all_suites(self):
+        path = REPO / "BENCH_HISTORY.jsonl"
+        entries = [
+            json.loads(l) for l in path.read_text().splitlines() if l.strip()
+        ]
+        suites = {e["suite"] for e in entries}
+        assert {p.stem for p in BASELINES} <= suites
+        for e in entries:
+            assert e["timestamp"]
+            assert e["benchmarks"]
+
+
+class TestBenchCompareCli:
+    def test_self_compare_exits_zero(self, capsys):
+        rc = bench_compare.main(
+            [str(REPO / "BENCH_kernels.json"), str(REPO / "BENCH_kernels.json")]
+        )
+        assert rc == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        base = write_artifact(
+            tmp_path / "base.json",
+            {"stream": {"mean": 1.0,
+                        "extra": {"stripes_per_second": 1000.0}}},
+        )
+        fresh = write_artifact(
+            tmp_path / "fresh.json",
+            {"stream": {"mean": 1.0,
+                        "extra": {"stripes_per_second": 700.0}}},
+        )
+        rc = bench_compare.main(
+            [str(base), str(fresh), "--tolerance", "0.1"]
+        )
+        assert rc == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_history_appended(self, tmp_path, capsys):
+        base = write_artifact(tmp_path / "base.json", {"k": {"mean": 1.0}})
+        hist = tmp_path / "hist.jsonl"
+        rc = bench_compare.main(
+            [str(base), str(base), "--history", str(hist),
+             "--timestamp", "2026-08-08", "--label", "kernels"]
+        )
+        assert rc == 0
+        (entry,) = [json.loads(l) for l in hist.read_text().splitlines()]
+        assert entry["suite"] == "kernels"
+        assert entry["timestamp"] == "2026-08-08"
+
+    def test_history_requires_timestamp(self, tmp_path, capsys):
+        base = write_artifact(tmp_path / "base.json", {"k": {"mean": 1.0}})
+        rc = bench_compare.main(
+            [str(base), str(base), "--history", str(tmp_path / "h.jsonl")]
+        )
+        assert rc == 2
+        assert "requires --timestamp" in capsys.readouterr().err
+
+    def test_malformed_artifact_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        rc = bench_compare.main(
+            [str(REPO / "BENCH_kernels.json"), str(bad)]
+        )
+        assert rc == 2
