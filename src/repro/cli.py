@@ -35,6 +35,13 @@ Observatory::
     repro-car report out/trace.jsonl              # per-stage attribution
     repro-car export out/trace.jsonl --out t.json # Perfetto-loadable trace
     repro-car export out/trace.jsonl --folded t.folded  # flamegraph stacks
+
+Service::
+
+    repro-car serve out/                          # live cluster, one failure
+    repro-car serve out/ --repair-cap 65536       # cap repair bandwidth
+    repro-car serve out/ --crash-after 18         # crash; re-run resumes
+    repro-car bench-service out/                  # repair-cap sweep table
 """
 
 from __future__ import annotations
@@ -66,31 +73,56 @@ from repro.experiments.report import (
     render_traffic_ablation,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "SUBCOMMANDS"]
+
+#: Every subcommand with its one-line description.  This registry is the
+#: single source of truth: it drives the parser's ``choices``, the
+#: ``--help`` epilog, and the CLI table in ``docs/API.md``
+#: (``tools/gen_api_docs.py``) — so the three can never disagree.
+SUBCOMMANDS: dict[str, str] = {
+    "fig7": "cross-rack traffic vs chunk size (Figure 7)",
+    "fig8": "load balancing: lambda vs greedy iterations (Figure 8)",
+    "fig9": "recovery time vs chunk size on the fluid model (Figure 9)",
+    "fig10": "recovery time breakdown by stage (Figure 10)",
+    "ablation": "traffic decomposition, oversubscription, greedy-vs-optimal",
+    "landscape": "repair cost per lost chunk across erasure-code schemes",
+    "longrun": "90-day failure-trace replay (repairs, traffic, lambda)",
+    "degraded": "degraded-read latency distributions (CAR vs RR)",
+    "regen": "regenerating-code sweep (rack-aware MSR, piggybacked RS)",
+    "all": "every figure/experiment above at fast settings",
+    "trace": "summarise a recorded trace.jsonl (stages, racks, spans)",
+    "metrics": "summarise a recorded metrics.json snapshot",
+    "report": "per-stage/per-rack bottleneck attribution for a trace",
+    "export": "convert a trace to Chrome/Perfetto JSON or flamegraph stacks",
+    "scrub": "corrupt chunks, then detect and heal them (integrity pass)",
+    "durable": "journalled (optionally streaming) recovery run",
+    "resume": "resume a crashed durable recovery from its journal",
+    "stream": "streaming recovery throughput + peak-RSS measurement",
+    "serve": "boot a live in-process cluster, fail a node, repair it",
+    "bench-service": "sweep repair-bandwidth caps on the live service",
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
+    epilog_lines = ["subcommands:"]
+    epilog_lines += [
+        f"  {name:<14} {desc}" for name, desc in SUBCOMMANDS.items()
+    ]
     parser = argparse.ArgumentParser(
         prog="repro-car",
         description=(
             "Reproduce the evaluation of 'Reconsidering Single Failure "
             "Recovery in Clustered File Systems' (DSN 2016)."
         ),
+        epilog="\n".join(epilog_lines),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "experiment",
-        choices=[
-            "fig7", "fig8", "fig9", "fig10", "ablation", "landscape",
-            "longrun", "degraded", "regen", "all", "trace", "metrics",
-            "scrub", "durable", "resume", "stream", "report", "export",
-        ],
-        help=(
-            "which figure/experiment to regenerate, a telemetry "
-            "reporting command (trace/metrics/report/export), a "
-            "durability command (scrub/durable/resume), or a streaming "
-            "recovery run with throughput/RSS reporting (stream)"
-        ),
+        choices=list(SUBCOMMANDS),
+        metavar="subcommand",
+        help="one of the subcommands listed below",
     )
     parser.add_argument(
         "path",
@@ -99,7 +131,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "artifact path: a trace.jsonl for 'trace'/'report'/'export', "
             "a metrics.json for 'metrics', the write-ahead journal for "
-            "'durable'/'resume' (ignored by experiments)"
+            "'durable'/'resume', the working directory for "
+            "'serve'/'bench-service' (ignored by experiments)"
         ),
     )
     parser.add_argument(
@@ -151,9 +184,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--strategy",
-        choices=["car", "direct"],
+        choices=["car", "direct", "rr", "rack-msr"],
         default="car",
-        help="recovery strategy for 'durable' runs (default car)",
+        help=(
+            "recovery strategy: 'durable' accepts car/direct, "
+            "'serve'/'bench-service' accept car/rr/rack-msr (default car)"
+        ),
     )
     parser.add_argument(
         "--crash-after",
@@ -235,6 +271,58 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "also write collapsed-stack flamegraph lines for 'export' "
             "to FILE"
+        ),
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        metavar="N",
+        default=3,
+        help=(
+            "concurrent foreground readers for 'serve'/'bench-service' "
+            "(default 3)"
+        ),
+    )
+    parser.add_argument(
+        "--repair-cap",
+        dest="repair_cap",
+        type=int,
+        metavar="BYTES_PER_S",
+        default=None,
+        help=(
+            "token-bucket cap on repair bandwidth for 'serve', modelled "
+            "bytes/s (default: uncapped — repair still queues on the "
+            "shared link)"
+        ),
+    )
+    parser.add_argument(
+        "--caps",
+        metavar="LIST",
+        default=None,
+        help=(
+            "comma-separated repair caps for 'bench-service', modelled "
+            "bytes/s with 'none' for uncapped (default 16384,65536,none)"
+        ),
+    )
+    parser.add_argument(
+        "--client-priority",
+        dest="client_priority",
+        type=float,
+        metavar="X",
+        default=1.0,
+        help=(
+            "token multiplier charged to repair bytes while clients are "
+            "active ('serve'; >= 1.0, default 1.0 = no preference)"
+        ),
+    )
+    parser.add_argument(
+        "--speedup",
+        type=float,
+        metavar="X",
+        default=None,
+        help=(
+            "modelled seconds per wall second for 'serve'/'bench-service' "
+            "(defaults: serve 50, bench-service 10)"
         ),
     )
     return parser
@@ -753,12 +841,122 @@ def _run_stream(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _render_serve_summary(summary: dict) -> str:
+    cap = summary.get("repair_cap_bytes_per_s")
+    if cap is None:
+        cap = (summary.get("admission") or {}).get("repair_cap_bytes_per_s")
+    lines = [
+        f"Live service run — {summary['config']}, {summary['strategy']},"
+        f" node {summary['failed_node']} failed"
+        f" ({summary['stripes']} stripes affected)",
+        f"  repair   : {summary['replayed']} replayed"
+        f" + {summary['executed']} executed,"
+        f" verified {'yes' if summary['verified'] else 'NO'}",
+        f"  recovery : {summary['recovery_throughput_bytes_per_s']:,.0f}"
+        f" B/s over {summary['recovery_model_s']:.3f} model-s"
+        + (f" (cap {cap:,.0f} B/s)" if cap else " (uncapped)"),
+        f"  clients  : {summary['reads']} reads"
+        f" ({summary['contended_reads']} during repair,"
+        f" {summary['degraded_reads']} degraded)",
+        f"  latency  : p50 {summary['client_p50_model_s'] * 1e3:.1f} ms,"
+        f" p99 {summary['client_p99_model_s'] * 1e3:.1f} ms (modelled)",
+    ]
+    if "trace_path" in summary:
+        lines.append(f"  trace    : {summary['trace_path']}")
+    return "\n".join(lines)
+
+
+def _run_serve(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    from repro.service.bench import run_service
+
+    if args.strategy == "direct":
+        raise SystemExit("'serve' strategies are car, rr, or rack-msr")
+    workdir = Path(args.path)
+    summary = run_service(
+        workdir=workdir,
+        trace_path=workdir / "trace.jsonl",
+        config=args.config,
+        seed=args.seed if args.seed is not None else 7,
+        num_stripes=args.stripes if args.stripes is not None else 10,
+        strategy=args.strategy,
+        clients=args.clients,
+        speedup=args.speedup if args.speedup is not None else 50.0,
+        repair_cap=args.repair_cap,
+        client_priority=args.client_priority,
+        repair_window=min(args.window, 8),
+        crash_after_records=args.crash_after,
+    )
+    out = _render_serve_summary(summary)
+    if args.json_path is not None:
+        import json
+
+        Path(args.json_path).parent.mkdir(parents=True, exist_ok=True)
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out += f"\n  wrote JSON results to {args.json_path}"
+    return out
+
+
+def _parse_caps(raw: str):
+    caps = []
+    for part in raw.split(","):
+        part = part.strip().lower()
+        caps.append(None if part in ("none", "uncapped") else int(part))
+    return tuple(caps)
+
+
+def _run_bench_service(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    from repro.service.bench import (
+        DEFAULT_CAPS,
+        render_service_table,
+        run_bench_service,
+    )
+
+    if args.strategy == "direct":
+        raise SystemExit(
+            "'bench-service' strategies are car, rr, or rack-msr"
+        )
+    caps = _parse_caps(args.caps) if args.caps else DEFAULT_CAPS
+    kwargs = dict(
+        workdir=Path(args.path),
+        config=args.config,
+        seed=args.seed if args.seed is not None else 7,
+        clients=args.clients,
+        strategy=args.strategy,
+    )
+    if args.stripes is not None:
+        kwargs["num_stripes"] = args.stripes
+    if args.speedup is not None:
+        kwargs["speedup"] = args.speedup
+    if args.client_priority != 1.0:
+        kwargs["client_priority"] = args.client_priority
+    rows = run_bench_service(caps, **kwargs)
+    out = (
+        "Service sweep: repair cap vs recovery throughput vs "
+        "foreground latency (modelled)\n" + render_service_table(rows)
+    )
+    if args.json_path is not None:
+        import json
+
+        Path(args.json_path).parent.mkdir(parents=True, exist_ok=True)
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(rows, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out += f"\nwrote JSON results to {args.json_path}"
+    return out
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if (args.experiment in ("trace", "metrics", "durable", "resume",
-                            "report", "export")
+                            "report", "export", "serve", "bench-service")
             and args.path is None):
         parser.error(f"'{args.experiment}' requires a file path argument")
     handlers = {
@@ -779,6 +977,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "durable": _run_durable,
         "resume": _run_resume,
         "stream": _run_stream,
+        "serve": _run_serve,
+        "bench-service": _run_bench_service,
     }
     try:
         if args.experiment == "all":
@@ -797,7 +997,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"coordinator crashed after {crash.records_written} journal "
             f"records: {crash}"
         )
-        print(f"resume with: repro-car resume {args.path}")
+        if args.experiment == "serve":
+            print(f"resume with: repro-car serve {args.path}")
+        else:
+            print(f"resume with: repro-car resume {args.path}")
         return 3
     return 0
 

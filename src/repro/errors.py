@@ -30,6 +30,9 @@ __all__ = [
     "IntegrityError",
     "JournalError",
     "CoordinatorCrashError",
+    "ServiceError",
+    "ProtocolError",
+    "RepairCancelled",
     "SimulationError",
     "FlowError",
     "ConfigurationError",
@@ -206,6 +209,32 @@ class CoordinatorCrashError(RecoveryError):
             self.__class__,
             (self.args[0], self.event, self.records_written),
         )
+
+
+# ---------------------------------------------------------------------------
+# Service layer
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for cluster-service (coordinator/chunkserver) errors."""
+
+
+class ProtocolError(ServiceError):
+    """A wire frame is malformed, torn, or exceeds the size limits."""
+
+
+class RepairCancelled(ServiceError):
+    """The background repair was interrupted (e.g. a helper died).
+
+    Raised out of the repair governor between streaming windows; the
+    journal on disk stays valid, so the repair service re-plans around
+    the dead nodes and resumes from it.
+    """
+
+    def __init__(self, message: str, dead_nodes: frozenset[int] = frozenset()):
+        super().__init__(message)
+        self.dead_nodes = frozenset(dead_nodes)
 
 
 # ---------------------------------------------------------------------------

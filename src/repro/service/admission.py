@@ -1,0 +1,243 @@
+"""Admission control: the shared-link contention model and repair caps.
+
+The paper's motivating observation is that repair traffic and
+foreground degraded reads *compete for the same scarce cross-rack
+bandwidth*.  The service layer makes that competition explicit:
+
+- a :class:`ServiceClock` maps *modelled* seconds onto wall time at a
+  configurable ``speedup`` (the daemons sleep ``delay / speedup`` real
+  seconds for every modelled ``delay``), so a bench covering minutes of
+  cluster time runs in seconds while every latency is reported in
+  modelled milliseconds;
+- a :class:`ModeledLink` is a FIFO fluid pipe for the shared cross-rack
+  core: a transfer of ``n`` bytes queued behind earlier transfers
+  finishes at ``max(now, free_at) + n / capacity`` — queueing delay is
+  what the client's p99 measures;
+- a :class:`TokenBucket` caps the *repair* side: the background repair
+  service must earn tokens at ``rate`` bytes/s (with a ``burst``
+  allowance) before shipping a window cross-rack;
+- the :class:`AdmissionController` composes the two and adds the
+  client-priority knob: while foreground reads are active (within
+  ``priority_window`` modelled seconds), each repair byte costs
+  ``client_priority`` tokens, so raising the knob makes repair yield.
+
+Everything here is synchronous and thread-safe (one lock per object):
+the event loop charges client reads while the repair worker thread
+charges repair windows, and both observe one modelled timeline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ServiceClock",
+    "TokenBucket",
+    "ModeledLink",
+    "AdmissionController",
+]
+
+
+class ServiceClock:
+    """Modelled time, derived from the wall clock at a speedup factor.
+
+    Args:
+        speedup: modelled seconds per real second (e.g. 200 means one
+            modelled second costs 5 ms of wall time).
+        clock: injectable real-time source (monotonic seconds) for
+            deterministic tests.
+    """
+
+    def __init__(self, speedup: float = 200.0, clock=time.monotonic) -> None:
+        if speedup <= 0:
+            raise ConfigurationError(f"speedup must be > 0, got {speedup}")
+        self.speedup = float(speedup)
+        self._clock = clock
+        self._t0 = clock()
+
+    def now(self) -> float:
+        """Current modelled time in seconds (0 at construction)."""
+        return (self._clock() - self._t0) * self.speedup
+
+    def to_real(self, model_seconds: float) -> float:
+        """Wall-clock seconds corresponding to a modelled duration."""
+        return max(0.0, model_seconds) / self.speedup
+
+    def sleep_sync(self, model_seconds: float) -> None:
+        """Block the calling thread for a modelled duration."""
+        real = self.to_real(model_seconds)
+        if real > 0:
+            time.sleep(real)
+
+
+class TokenBucket:
+    """Byte-rate limiter with burst allowance (debt model).
+
+    ``reserve(n, now)`` always succeeds and returns how long the caller
+    must wait before the reserved bytes are within rate: tokens may go
+    negative (debt), and the wait is the time for the refill to clear
+    the debt.  This matches how the repair service uses it — it has
+    already decided to ship the window; the bucket decides *when*.
+    """
+
+    def __init__(self, rate_bytes_per_s: float, burst_bytes: float) -> None:
+        if rate_bytes_per_s <= 0:
+            raise ConfigurationError(
+                f"token rate must be > 0 B/s, got {rate_bytes_per_s}"
+            )
+        if burst_bytes < 0:
+            raise ConfigurationError(
+                f"burst must be >= 0 B, got {burst_bytes}"
+            )
+        self.rate = float(rate_bytes_per_s)
+        self.burst = float(burst_bytes)
+        self._tokens = float(burst_bytes)
+        self._last = 0.0
+        self._lock = threading.Lock()
+
+    def reserve(self, nbytes: float, now: float) -> float:
+        """Deduct ``nbytes`` tokens; return the modelled wait in seconds."""
+        if nbytes < 0:
+            raise ConfigurationError(f"cannot reserve {nbytes} bytes")
+        with self._lock:
+            elapsed = max(0.0, now - self._last)
+            self._last = max(self._last, now)
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._tokens -= nbytes
+            if self._tokens >= 0:
+                return 0.0
+            return -self._tokens / self.rate
+
+
+class ModeledLink:
+    """A FIFO fluid pipe: one shared capacity, queueing included.
+
+    ``reserve(n, now)`` appends an ``n``-byte transfer to the link's
+    queue and returns the modelled delay until it completes (queueing
+    behind everything already reserved, plus its own service time).
+    """
+
+    def __init__(self, capacity_bytes_per_s: float, name: str = "core") -> None:
+        if capacity_bytes_per_s <= 0:
+            raise ConfigurationError(
+                f"link capacity must be > 0 B/s, got {capacity_bytes_per_s}"
+            )
+        self.capacity = float(capacity_bytes_per_s)
+        self.name = name
+        self._free_at = 0.0
+        self._busy_model_s = 0.0
+        self._lock = threading.Lock()
+
+    def reserve(self, nbytes: float, now: float) -> float:
+        """Queue ``nbytes``; return modelled seconds until it completes."""
+        if nbytes < 0:
+            raise ConfigurationError(f"cannot reserve {nbytes} bytes")
+        service = nbytes / self.capacity
+        with self._lock:
+            start = max(now, self._free_at)
+            self._free_at = start + service
+            self._busy_model_s += service
+            return self._free_at - now
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total modelled service time charged so far (utilisation)."""
+        with self._lock:
+            return self._busy_model_s
+
+
+class AdmissionController:
+    """Arbitrates the shared cross-rack link between clients and repair.
+
+    Args:
+        link: the shared cross-rack pipe both traffic classes use.
+        clock: the service's modelled clock.
+        repair_cap_bytes_per_s: token rate for repair traffic (None =
+            uncapped; repair still queues on the shared link).
+        repair_burst_bytes: bucket burst (default: one second of cap).
+        client_priority: token multiplier applied to repair bytes while
+            clients are active; 1.0 = no preference.
+        priority_window: modelled seconds after a client transfer during
+            which the priority multiplier applies.
+    """
+
+    def __init__(
+        self,
+        link: ModeledLink,
+        clock: ServiceClock,
+        *,
+        repair_cap_bytes_per_s: float | None = None,
+        repair_burst_bytes: float | None = None,
+        client_priority: float = 1.0,
+        priority_window: float = 1.0,
+    ) -> None:
+        if client_priority < 1.0:
+            raise ConfigurationError(
+                f"client_priority must be >= 1.0, got {client_priority}"
+            )
+        self.link = link
+        self.clock = clock
+        self.client_priority = float(client_priority)
+        self.priority_window = float(priority_window)
+        self.bucket: TokenBucket | None = None
+        if repair_cap_bytes_per_s is not None:
+            burst = (
+                repair_burst_bytes
+                if repair_burst_bytes is not None
+                else repair_cap_bytes_per_s
+            )
+            self.bucket = TokenBucket(repair_cap_bytes_per_s, burst)
+        self._last_client = float("-inf")
+        self._lock = threading.Lock()
+        self.client_bytes = 0
+        self.repair_bytes = 0
+
+    # -- client side (event loop) ---------------------------------------
+
+    def client_delay(self, nbytes: int) -> float:
+        """Charge a foreground transfer; return its modelled delay."""
+        now = self.clock.now()
+        with self._lock:
+            self._last_client = now
+            self.client_bytes += nbytes
+        return self.link.reserve(nbytes, now)
+
+    # -- repair side (worker thread) ------------------------------------
+
+    def repair_delay(self, nbytes: int) -> float:
+        """Charge a repair shipment; return its modelled delay.
+
+        The wait is the token-bucket wait (rate cap, with the priority
+        multiplier while clients are active) plus the shared-link
+        queueing.  The link is charged at ``now`` — not after the token
+        wait — so a rate-capped repair never reserves link capacity in
+        the *future* and stalls foreground reads behind bytes it has
+        not shipped yet.
+        """
+        now = self.clock.now()
+        with self._lock:
+            clients_active = (now - self._last_client) <= self.priority_window
+            self.repair_bytes += nbytes
+        wait = 0.0
+        if self.bucket is not None:
+            cost = nbytes * (
+                self.client_priority if clients_active else 1.0
+            )
+            wait = self.bucket.reserve(cost, now)
+        return wait + self.link.reserve(nbytes, now)
+
+    def snapshot(self) -> dict:
+        """Byte counters and utilisation for status replies/metrics."""
+        with self._lock:
+            return {
+                "client_bytes": self.client_bytes,
+                "repair_bytes": self.repair_bytes,
+                "link_busy_model_s": self.link.busy_seconds,
+                "repair_cap_bytes_per_s": (
+                    self.bucket.rate if self.bucket is not None else None
+                ),
+                "client_priority": self.client_priority,
+            }

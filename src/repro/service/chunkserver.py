@@ -1,0 +1,236 @@
+"""The chunkserver daemon: serves chunk reads, heartbeats the coordinator.
+
+One :class:`Chunkserver` hosts a *set* of modelled nodes (like a host
+with several disks).  It runs two things on the shared event loop:
+
+- a tiny asyncio server answering ``read-chunk`` frames from the
+  coordinator with ``chunk-data`` frames (the raw chunk bytes as the
+  frame blob — never JSON-encoded);
+- a heartbeat task that registers with the coordinator (``hello``) and
+  then sends a ``heartbeat`` frame every ``heartbeat_interval``
+  *modelled* seconds, listing the nodes it still considers live.
+
+Failure injection is subtractive: :meth:`Chunkserver.kill_node` drops
+one node from both serving and heartbeats (a dead disk on a live host),
+:meth:`Chunkserver.kill` silences the whole daemon abruptly (process
+death) — either way the coordinator's failure detector notices by
+timeout, never by notification, exactly like a real cluster.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.cluster.placement import Placement
+from repro.cluster.state import DataStore
+from repro.errors import ProtocolError, ReproError, ServiceError
+from repro.service.admission import ServiceClock
+from repro.service.protocol import MsgType, read_frame, write_frame
+
+__all__ = ["Chunkserver"]
+
+
+class Chunkserver:
+    """One chunkserver daemon hosting ``node_ids``.
+
+    Args:
+        server_id: stable name (goes into heartbeats and traces).
+        node_ids: modelled node ids this daemon serves.
+        data: the shared chunk store (in-process stand-in for disks).
+        placement: the cluster's chunk placement, used to refuse reads
+            for chunks a node does not actually hold.
+        clock: the service's modelled clock.
+        heartbeat_interval: modelled seconds between heartbeats.
+    """
+
+    def __init__(
+        self,
+        server_id: str,
+        node_ids,
+        data: DataStore,
+        placement: Placement,
+        clock: ServiceClock,
+        *,
+        heartbeat_interval: float = 0.25,
+    ) -> None:
+        self.server_id = server_id
+        self.nodes = frozenset(int(n) for n in node_ids)
+        if not self.nodes:
+            raise ServiceError(f"chunkserver {server_id!r} hosts no nodes")
+        self.data = data
+        self.placement = placement
+        self.clock = clock
+        self.heartbeat_interval = float(heartbeat_interval)
+        self._live: set[int] = set(self.nodes)
+        self._server: asyncio.AbstractServer | None = None
+        self._hb_task: asyncio.Task | None = None
+        self._coord_writer: asyncio.StreamWriter | None = None
+        self.address: tuple[str, int] | None = None
+        self.reads_served = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self, coordinator_addr: tuple[str, int]) -> None:
+        """Open the data server, register, and start heartbeating."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, "127.0.0.1", 0
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        self.address = (host, port)
+        reader, writer = await asyncio.open_connection(*coordinator_addr)
+        self._coord_writer = writer
+        await write_frame(
+            writer,
+            {
+                "type": MsgType.HELLO,
+                "role": "chunkserver",
+                "server": self.server_id,
+                "nodes": sorted(self._live),
+                "host": host,
+                "port": port,
+            },
+        )
+        ack = await read_frame(reader)
+        if ack is None or ack[0].get("type") != MsgType.HELLO_ACK:
+            raise ServiceError(
+                f"chunkserver {self.server_id!r}: registration not acked"
+            )
+        self._hb_task = asyncio.create_task(self._heartbeat_loop())
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop heartbeats and close both sockets."""
+        self.kill()
+        if self._hb_task is not None:
+            try:
+                await self._hb_task
+            except asyncio.CancelledError:
+                pass
+            self._hb_task = None
+
+    def kill(self) -> None:
+        """Abrupt daemon death: silence heartbeats, refuse new reads.
+
+        Nothing is sent to the coordinator — its failure detector must
+        discover the loss by lease timeout.
+        """
+        self._live.clear()
+        if self._hb_task is not None:
+            self._hb_task.cancel()
+        if self._coord_writer is not None:
+            self._coord_writer.close()
+            self._coord_writer = None
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+
+    def kill_node(self, node_id: int) -> None:
+        """Drop one node: it leaves heartbeats and stops serving reads."""
+        if node_id not in self.nodes:
+            raise ServiceError(
+                f"chunkserver {self.server_id!r} does not host node {node_id}"
+            )
+        self._live.discard(int(node_id))
+
+    @property
+    def live_nodes(self) -> frozenset[int]:
+        """Nodes this daemon still serves and heartbeats."""
+        return frozenset(self._live)
+
+    # -- heartbeats ------------------------------------------------------
+
+    async def _heartbeat_loop(self) -> None:
+        writer = self._coord_writer
+        try:
+            while writer is not None:
+                await asyncio.sleep(
+                    self.clock.to_real(self.heartbeat_interval)
+                )
+                await write_frame(
+                    writer,
+                    {
+                        "type": MsgType.HEARTBEAT,
+                        "server": self.server_id,
+                        "nodes": sorted(self._live),
+                        "t": self.clock.now(),
+                    },
+                )
+        except (ConnectionError, asyncio.CancelledError):
+            return
+
+    # -- data plane ------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except ProtocolError:
+                    break
+                if frame is None:
+                    break
+                msg, _ = frame
+                if msg.get("type") == MsgType.READ_CHUNK:
+                    await self._handle_read_chunk(writer, msg)
+                elif msg.get("type") == MsgType.SHUTDOWN:
+                    break
+                else:
+                    await write_frame(
+                        writer,
+                        {
+                            "type": MsgType.ERROR,
+                            "error": f"unexpected frame {msg.get('type')!r}",
+                        },
+                    )
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _handle_read_chunk(
+        self, writer: asyncio.StreamWriter, msg: dict
+    ) -> None:
+        stripe = int(msg["stripe"])
+        chunk = int(msg["chunk"])
+        node = int(msg["node"])
+        if node not in self._live:
+            await write_frame(
+                writer,
+                {
+                    "type": MsgType.ERROR,
+                    "stripe": stripe,
+                    "chunk": chunk,
+                    "error": f"node {node} is not served here",
+                },
+            )
+            return
+        try:
+            layout = self.placement.stripe_layout(stripe)
+            if layout.get(chunk) != node:
+                raise ServiceError(
+                    f"stripe {stripe} chunk {chunk} is not on node {node}"
+                )
+            blob = self.data.chunk(stripe, chunk).tobytes()
+        except ReproError as exc:
+            await write_frame(
+                writer,
+                {
+                    "type": MsgType.ERROR,
+                    "stripe": stripe,
+                    "chunk": chunk,
+                    "error": str(exc),
+                },
+            )
+            return
+        self.reads_served += 1
+        await write_frame(
+            writer,
+            {
+                "type": MsgType.CHUNK_DATA,
+                "stripe": stripe,
+                "chunk": chunk,
+                "node": node,
+            },
+            blob,
+        )

@@ -1,0 +1,529 @@
+"""The coordinator daemon: membership, degraded reads, repair control.
+
+One asyncio server owns the whole control plane:
+
+- **membership** — chunkservers register (``hello``) and heartbeat;
+  a :class:`~repro.service.heartbeat.FailureDetector` poll loop turns
+  silence into SUSPECT/DEAD transitions (timeout, never notification);
+- **failure → repair** — the first DEAD node becomes the cluster's
+  single failure (:meth:`~repro.cluster.state.ClusterState.fail_node`)
+  and starts a background :class:`~repro.service.repair.RepairService`;
+  later deaths are secondary: they cancel the in-flight repair window
+  and fold into the re-plan (``CarSelector.degraded_solution``);
+- **degraded reads** — clients ask for a stripe's chunk; if it lived on
+  the failed node the coordinator fetches ``k`` helpers from the
+  chunkservers, partially decodes per rack (Equation 7), combines, and
+  replies with the rebuilt bytes.  Both read classes charge the shared
+  modelled link through the admission controller, so their latency
+  includes queueing behind repair traffic — the paper's contention.
+
+The repair itself runs in a worker thread (see
+:mod:`repro.service.repair`); the coordinator only starts it, relays
+death notices to it, and folds its trace events into the service trace
+on :meth:`Coordinator.stop`.  A coordinator killed mid-repair leaves
+the write-ahead journal behind; constructing a fresh coordinator on the
+same state and journal path and calling :meth:`Coordinator.start_repair`
+resumes — committed stripes replay byte-identically with no re-shipped
+cross-rack traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.cluster.state import ClusterState, FailureEvent
+from repro.erasure.repair import (
+    combine_partials,
+    execute_partial_decode,
+    split_repair_vector,
+)
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    ServiceError,
+)
+from repro.gf.field import gf
+from repro.gf.vector import buffer_dtype
+from repro.obs.tracer import Tracer
+from repro.recovery.selector import CarSelector
+from repro.service.admission import AdmissionController
+from repro.service.heartbeat import FailureDetector, NodeHealth
+from repro.service.protocol import MsgType, read_frame, write_frame
+from repro.service.repair import RepairService
+
+__all__ = ["resolve_strategy", "Coordinator"]
+
+
+def resolve_strategy(label: str, seed: int = 0):
+    """Map a service strategy label to a deterministic strategy instance.
+
+    ``car`` (cross-rack-aware), ``rr`` (random-recovery baseline, seeded
+    so resume re-solves identically), ``rack-msr`` (rack-aware MSR;
+    requires rack-aligned placement).
+    """
+    from repro.recovery.baselines import CarStrategy, RandomRecoveryStrategy
+    from repro.recovery.regenerating import RackAwareMSRStrategy
+
+    if label == "car":
+        return CarStrategy()
+    if label == "rr":
+        return RandomRecoveryStrategy(rng=seed)
+    if label == "rack-msr":
+        return RackAwareMSRStrategy()
+    raise ConfigurationError(
+        f"unknown service strategy {label!r} "
+        "(expected 'car', 'rr', or 'rack-msr')"
+    )
+
+
+class Coordinator:
+    """The control-plane daemon for one modelled cluster.
+
+    Args:
+        state: the cluster (with a :class:`~repro.cluster.state.DataStore`
+            so repairs verify byte-for-byte).
+        clock: the service's modelled clock.
+        admission: shared-link admission controller.
+        journal_path: write-ahead journal for the repair service.
+        strategy: label (see :func:`resolve_strategy`) or strategy object.
+        seed: forwarded to seeded strategies and the journal header.
+        suspect_after / dead_after: failure-detector lease timeouts, in
+            modelled seconds.
+        detector_interval: poll period of the detector loop (modelled).
+        repair_window: stripes per streaming window (small keeps
+            cancellation latency low).
+        max_replans: secondary-failure replans before the repair fails.
+        crash_after_records: arm a coordinator crash inside the *next*
+            repair session (the durable layer's crash hook).
+        verify_reads: compare degraded-read reconstructions against the
+            data store's ground truth and report the verdict.
+        tracer: event-loop tracer (defaults to a fresh one).
+    """
+
+    def __init__(
+        self,
+        state: ClusterState,
+        clock,
+        admission: AdmissionController,
+        *,
+        journal_path,
+        strategy="car",
+        seed: int = 0,
+        suspect_after: float = 1.0,
+        dead_after: float = 2.5,
+        detector_interval: float = 0.2,
+        repair_window: int = 4,
+        max_replans: int = 3,
+        crash_after_records: int | None = None,
+        verify_reads: bool = True,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if state.data is None:
+            raise ConfigurationError(
+                "the service needs a ClusterState with a DataStore "
+                "(build_state(..., with_data=True))"
+            )
+        self.state = state
+        self.clock = clock
+        self.admission = admission
+        self.journal_path = journal_path
+        self.seed = seed
+        self.strategy = (
+            resolve_strategy(strategy, seed)
+            if isinstance(strategy, str)
+            else strategy
+        )
+        self.strategy_label = (
+            strategy if isinstance(strategy, str)
+            else type(strategy).__name__
+        )
+        self.detector = FailureDetector(suspect_after, dead_after)
+        self.detector_interval = float(detector_interval)
+        self.repair_window = repair_window
+        self.max_replans = max_replans
+        self.crash_after_records = crash_after_records
+        self.verify_reads = verify_reads
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.selector = CarSelector(state.topology, state.code.k)
+        self._dtype = buffer_dtype(gf(state.code.w))
+
+        self._server: asyncio.AbstractServer | None = None
+        self._detector_task: asyncio.Task | None = None
+        self._servers: dict[str, tuple[str, int]] = {}
+        self.repair: RepairService | None = None
+        self._repair_tracer: Tracer | None = None
+        self.address: tuple[str, int] | None = None
+        self.reads_served = 0
+        self.degraded_reads = 0
+        self._stopped = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind the control socket and start the detector loop."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, "127.0.0.1", 0
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+        self._detector_task = asyncio.create_task(self._detector_loop())
+        self.tracer.event(
+            "service.coordinator.start",
+            host=self.address[0],
+            port=self.address[1],
+            strategy=self.strategy_label,
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        """Graceful shutdown: detector off, socket closed, traces merged.
+
+        A still-running repair thread is left to finish on its own (it
+        is a daemon thread journalling durably); its trace events up to
+        now are folded in regardless.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._detector_task is not None:
+            self._detector_task.cancel()
+            try:
+                await self._detector_task
+            except asyncio.CancelledError:
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.tracer.event(
+            "service.coordinator.stop",
+            reads=self.reads_served,
+            degraded_reads=self.degraded_reads,
+        )
+
+    def all_events(self) -> list[dict]:
+        """Event-loop trace plus the repair thread's, in one stream.
+
+        The repair worker records into its own tracer (tracers are not
+        thread-safe); this is the merge point for export/validation.
+        """
+        events = list(self.tracer.events)
+        if self._repair_tracer is not None:
+            events.extend(self._repair_tracer.events)
+        return events
+
+    # -- failure detection ----------------------------------------------
+
+    async def _detector_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.clock.to_real(self.detector_interval))
+            now = self.clock.now()
+            for tr in self.detector.check(now):
+                self.tracer.event(
+                    "service.lease",
+                    node=tr.node_id,
+                    server=tr.server_id,
+                    old=tr.old.value if tr.old else None,
+                    new=tr.new.value,
+                    model_t=tr.at,
+                )
+                if tr.new is NodeHealth.DEAD:
+                    self._on_node_dead(tr.node_id)
+
+    def _on_node_dead(self, node_id: int) -> None:
+        if self.state.failed_node is None:
+            event = self.state.fail_node(node_id)
+            self.tracer.event(
+                "service.failure.primary",
+                node=node_id,
+                rack=event.failed_rack,
+                stripes=event.num_stripes,
+            )
+            self.start_repair(event)
+        elif node_id != self.state.failed_node:
+            self.tracer.event("service.failure.secondary", node=node_id)
+            if self.repair is not None and not self.repair.done.is_set():
+                self.repair.mark_dead(node_id)
+
+    # -- repair ----------------------------------------------------------
+
+    def start_repair(self, event: FailureEvent | None = None) -> RepairService:
+        """Start (or resume — the journal decides) the background repair.
+
+        Call explicitly with no event on a fresh coordinator that took
+        over an existing journal after a crash: the cluster state must
+        already carry the primary failure.
+        """
+        if self.repair is not None and not self.repair.done.is_set():
+            return self.repair
+        if event is None:
+            if self.state.failed_node is None:
+                raise ServiceError(
+                    "start_repair without an event needs a failed node "
+                    "already applied to the cluster state"
+                )
+            event = self.state.fail_node(self.state.failed_node)
+        self._repair_tracer = Tracer()
+        loop = asyncio.get_running_loop()
+
+        def _on_done(service: RepairService) -> None:
+            try:
+                loop.call_soon_threadsafe(self._repair_finished, service)
+            except RuntimeError:
+                # The event loop is already gone (coordinator torn down
+                # while the daemon repair thread drained); the result is
+                # still readable via repair.snapshot().
+                pass
+
+        self.repair = RepairService(
+            self.state,
+            event,
+            self.strategy,
+            self.journal_path,
+            self.clock,
+            self.admission,
+            window=self.repair_window,
+            tracer=self._repair_tracer,
+            session_meta={
+                "seed": self.seed,
+                "strategy_label": self.strategy_label,
+                "chunk_size": self.state.data.chunk_size,
+            },
+            max_replans=self.max_replans,
+            crash_after_records=self.crash_after_records,
+            on_done=_on_done,
+        )
+        self.crash_after_records = None
+        self.repair.start()
+        return self.repair
+
+    def _repair_finished(self, service: RepairService) -> None:
+        snap = service.snapshot()
+        self.tracer.event("service.repair.done", **snap)
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except ProtocolError as exc:
+                    await write_frame(
+                        writer, {"type": MsgType.ERROR, "error": str(exc)}
+                    )
+                    break
+                if frame is None:
+                    break
+                msg, _ = frame
+                mtype = msg.get("type")
+                if mtype == MsgType.HELLO:
+                    await self._handle_hello(writer, msg)
+                elif mtype == MsgType.HEARTBEAT:
+                    self._handle_heartbeat(msg)
+                elif mtype == MsgType.READ:
+                    await self._handle_read(writer, msg)
+                elif mtype == MsgType.STATUS:
+                    await write_frame(
+                        writer,
+                        {"type": MsgType.STATUS_REPLY, **self.status()},
+                    )
+                elif mtype == MsgType.SHUTDOWN:
+                    await write_frame(writer, {"type": MsgType.SHUTDOWN})
+                    asyncio.get_running_loop().create_task(self.stop())
+                    break
+                else:
+                    await write_frame(
+                        writer,
+                        {
+                            "type": MsgType.ERROR,
+                            "error": f"unexpected frame {mtype!r}",
+                        },
+                    )
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _handle_hello(
+        self, writer: asyncio.StreamWriter, msg: dict
+    ) -> None:
+        role = msg.get("role", "client")
+        now = self.clock.now()
+        if role == "chunkserver":
+            server = str(msg["server"])
+            self._servers[server] = (str(msg["host"]), int(msg["port"]))
+            try:
+                self.detector.register(server, msg["nodes"], now)
+            except ServiceError as exc:
+                await write_frame(
+                    writer, {"type": MsgType.ERROR, "error": str(exc)}
+                )
+                return
+            self.tracer.event(
+                "service.register", server=server, nodes=list(msg["nodes"])
+            )
+        await write_frame(
+            writer, {"type": MsgType.HELLO_ACK, "t": now, "role": role}
+        )
+
+    def _handle_heartbeat(self, msg: dict) -> None:
+        now = self.clock.now()
+        for tr in self.detector.beat(str(msg["server"]), msg["nodes"], now):
+            self.tracer.event(
+                "service.lease",
+                node=tr.node_id,
+                server=tr.server_id,
+                old=tr.old.value if tr.old else None,
+                new=tr.new.value,
+                model_t=tr.at,
+            )
+
+    # -- read path -------------------------------------------------------
+
+    async def _handle_read(
+        self, writer: asyncio.StreamWriter, msg: dict
+    ) -> None:
+        stripe = int(msg["stripe"])
+        start = self.clock.now()
+        try:
+            buf, chunk, degraded, racks = await self._read_stripe(stripe)
+        except ReproError as exc:
+            await write_frame(
+                writer,
+                {"type": MsgType.ERROR, "stripe": stripe, "error": str(exc)},
+            )
+            return
+        # Cross-rack charge: one aggregated partial per intact rack
+        # accessed (degraded), or the single chunk itself (direct).
+        chunk_size = self.state.data.chunk_size
+        delay = self.admission.client_delay(chunk_size * max(1, racks))
+        await asyncio.sleep(self.clock.to_real(delay))
+        end = start + delay
+        ok = True
+        if self.verify_reads:
+            ok = self.state.data.matches(stripe, chunk, buf)
+        self.reads_served += 1
+        if degraded:
+            self.degraded_reads += 1
+        self.tracer.emit_span(
+            "service.read",
+            start,
+            end,
+            stripe=stripe,
+            chunk=chunk,
+            degraded=degraded,
+            racks=racks,
+            ok=ok,
+        )
+        await write_frame(
+            writer,
+            {
+                "type": MsgType.READ_REPLY,
+                "stripe": stripe,
+                "chunk": chunk,
+                "degraded": degraded,
+                "racks": racks,
+                "ok": ok,
+                "latency_model_s": delay,
+            },
+            buf.tobytes(),
+        )
+
+    async def _read_stripe(self, stripe: int):
+        """Return (buffer, chunk_index, degraded, intact_racks_accessed)."""
+        layout = self.state.placement.stripe_layout(stripe)
+        failed = self.state.failed_node
+        if failed is not None and failed in layout.values():
+            return await self._degraded_read(stripe)
+        # Healthy stripe: serve its first chunk on a live node directly.
+        dead = self.detector.dead_nodes()
+        for chunk, node in sorted(layout.items()):
+            if node not in dead:
+                buf = await self._fetch_chunk(stripe, chunk, node)
+                return buf, chunk, False, 1
+        raise ServiceError(f"stripe {stripe}: no live node holds a chunk")
+
+    async def _degraded_read(self, stripe: int):
+        """Rebuild the lost chunk from ``k`` helpers, CAR-style."""
+        view = self.state.stripe_view(stripe)
+        secondary = self.detector.dead_nodes() - {self.state.failed_node}
+        if secondary:
+            solution = self.selector.degraded_solution(view, secondary)
+        else:
+            solution = self.selector.initial_solution(view)
+        helpers = list(solution.helpers)
+        node_of = {c: view.surviving[c] for c in helpers}
+        bufs = await asyncio.gather(
+            *(
+                self._fetch_chunk(stripe, c, node_of[c])
+                for c in helpers
+            )
+        )
+        chunks = dict(zip(helpers, bufs))
+        rack_map = solution.rack_map()
+        plan = split_repair_vector(
+            self.state.code, view.lost_chunk, helpers, rack_map
+        )
+        partials = execute_partial_decode(self.state.code, plan, chunks)
+        rebuilt = combine_partials(self.state.code, partials)
+        return (
+            rebuilt,
+            view.lost_chunk,
+            True,
+            len(solution.intact_racks_accessed),
+        )
+
+    async def _fetch_chunk(
+        self, stripe: int, chunk: int, node: int
+    ) -> np.ndarray:
+        server = self.detector.server_of(node)
+        addr = self._servers.get(server) if server else None
+        if addr is None:
+            raise ServiceError(
+                f"no chunkserver is registered for node {node}"
+            )
+        reader, writer = await asyncio.open_connection(*addr)
+        try:
+            await write_frame(
+                writer,
+                {
+                    "type": MsgType.READ_CHUNK,
+                    "stripe": stripe,
+                    "chunk": chunk,
+                    "node": node,
+                },
+            )
+            frame = await read_frame(reader)
+            if frame is None:
+                raise ServiceError(
+                    f"chunkserver {server!r} closed during read"
+                )
+            msg, blob = frame
+            if msg.get("type") != MsgType.CHUNK_DATA:
+                raise ServiceError(
+                    f"read of stripe {stripe} chunk {chunk} failed: "
+                    f"{msg.get('error', msg.get('type'))}"
+                )
+            return np.frombuffer(blob, dtype=self._dtype).copy()
+        finally:
+            writer.close()
+
+    # -- status ----------------------------------------------------------
+
+    def status(self) -> dict:
+        """Status-reply payload: membership, admission, repair, reads."""
+        return {
+            "model_t": self.clock.now(),
+            "failed_node": self.state.failed_node,
+            "nodes": {
+                str(n): h for n, h in self.detector.snapshot().items()
+            },
+            "admission": self.admission.snapshot(),
+            "repair": self.repair.snapshot() if self.repair else None,
+            "reads": self.reads_served,
+            "degraded_reads": self.degraded_reads,
+        }

@@ -1,0 +1,236 @@
+"""Length-prefixed wire protocol for the cluster service daemons.
+
+One frame carries a JSON *header* (control fields) and an optional raw
+binary *blob* (chunk payloads — never base64'd onto the JSON path):
+
+.. code-block:: text
+
+    +----------------+----------------+---------------+-----------+
+    | header_len !I  | blob_len !I    | header (JSON) | blob      |
+    +----------------+----------------+---------------+-----------+
+      4 bytes          4 bytes          header_len      blob_len
+
+Both length fields are unsigned big-endian 32-bit integers.  The
+header must decode to a JSON *object* with a string ``type`` key (the
+dispatch tag).  Size limits are enforced on both ends —
+``MAX_HEADER_BYTES`` for the JSON part, ``MAX_BLOB_BYTES`` for the
+payload — so a corrupt or hostile length prefix cannot balloon a read.
+
+Three consumption styles share the same format:
+
+- :func:`encode_frame` / :func:`decode_frame` — whole-buffer
+  round-trip (tests, journalling of raw frames);
+- :class:`FrameReader` — an incremental, sans-io parser: ``feed()``
+  bytes as they arrive (any fragmentation), get complete frames out,
+  and inspect :attr:`FrameReader.buffered` for a torn tail;
+- :func:`read_frame` / :func:`write_frame` — asyncio stream helpers
+  used by the daemons.  A connection closed *between* frames is a
+  clean EOF (``None``); closed *inside* a frame raises
+  :class:`~repro.errors.ProtocolError` (a torn frame is a failure,
+  silence is not).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "MAX_HEADER_BYTES",
+    "MAX_BLOB_BYTES",
+    "MsgType",
+    "encode_frame",
+    "decode_frame",
+    "FrameReader",
+    "read_frame",
+    "write_frame",
+]
+
+_PREFIX = struct.Struct("!II")
+
+#: Ceiling for the JSON header of one frame (control data is small).
+MAX_HEADER_BYTES = 1 << 20
+#: Ceiling for the binary blob of one frame (a handful of chunks).
+MAX_BLOB_BYTES = 64 << 20
+
+
+class MsgType:
+    """Frame ``type`` tags spoken by the daemons (plain constants)."""
+
+    HELLO = "hello"                    # chunkserver/client -> coordinator
+    HELLO_ACK = "hello-ack"            # coordinator -> peer
+    HEARTBEAT = "heartbeat"            # chunkserver -> coordinator
+    READ_CHUNK = "read-chunk"          # coordinator -> chunkserver
+    CHUNK_DATA = "chunk-data"          # chunkserver -> coordinator (blob)
+    READ = "read"                      # client -> coordinator
+    READ_REPLY = "read-reply"          # coordinator -> client (blob)
+    STATUS = "status"                  # any -> coordinator
+    STATUS_REPLY = "status-reply"      # coordinator -> any
+    SHUTDOWN = "shutdown"              # admin -> daemon
+    ERROR = "error"                    # any direction
+
+
+def encode_frame(msg: dict, blob: bytes = b"") -> bytes:
+    """Serialise one frame.
+
+    Raises:
+        ProtocolError: non-dict message, missing ``type``, or a part
+            over its size limit.
+    """
+    if not isinstance(msg, dict) or not isinstance(msg.get("type"), str):
+        raise ProtocolError(
+            "frame header must be a dict with a string 'type' key"
+        )
+    header = json.dumps(msg, sort_keys=True).encode("utf-8")
+    if len(header) > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"frame header {len(header)} B exceeds {MAX_HEADER_BYTES} B"
+        )
+    blob = bytes(blob)
+    if len(blob) > MAX_BLOB_BYTES:
+        raise ProtocolError(
+            f"frame blob {len(blob)} B exceeds {MAX_BLOB_BYTES} B"
+        )
+    return _PREFIX.pack(len(header), len(blob)) + header + blob
+
+
+def _decode_header(header: bytes) -> dict:
+    try:
+        msg = json.loads(header.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame header is not valid JSON: {exc}") from exc
+    if not isinstance(msg, dict) or not isinstance(msg.get("type"), str):
+        raise ProtocolError(
+            "frame header must be a JSON object with a string 'type' key"
+        )
+    return msg
+
+
+def _check_lengths(header_len: int, blob_len: int) -> None:
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"declared header length {header_len} B exceeds "
+            f"{MAX_HEADER_BYTES} B"
+        )
+    if blob_len > MAX_BLOB_BYTES:
+        raise ProtocolError(
+            f"declared blob length {blob_len} B exceeds {MAX_BLOB_BYTES} B"
+        )
+
+
+def decode_frame(data: bytes) -> tuple[dict, bytes]:
+    """Parse exactly one frame from ``data``.
+
+    Raises:
+        ProtocolError: truncated buffer, trailing garbage, oversized
+            declared lengths, or an invalid header.
+    """
+    if len(data) < _PREFIX.size:
+        raise ProtocolError(
+            f"torn frame: {len(data)} B is shorter than the "
+            f"{_PREFIX.size}-byte prefix"
+        )
+    header_len, blob_len = _PREFIX.unpack_from(data)
+    _check_lengths(header_len, blob_len)
+    total = _PREFIX.size + header_len + blob_len
+    if len(data) < total:
+        raise ProtocolError(
+            f"torn frame: need {total} B, have {len(data)} B"
+        )
+    if len(data) > total:
+        raise ProtocolError(
+            f"trailing garbage: frame is {total} B, buffer has {len(data)} B"
+        )
+    header = data[_PREFIX.size:_PREFIX.size + header_len]
+    blob = data[_PREFIX.size + header_len:total]
+    return _decode_header(header), blob
+
+
+class FrameReader:
+    """Incremental (sans-io) frame parser.
+
+    Feed arbitrarily fragmented byte chunks; complete frames come out
+    in order.  Partial data stays buffered — :attr:`buffered` exposes
+    how much, and :attr:`at_boundary` tells whether the stream could
+    end cleanly right now (no torn frame in progress).
+
+    Raises:
+        ProtocolError: as soon as a declared length exceeds the limits
+            (the reader does not wait for the oversized body to arrive).
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held that do not yet form a complete frame."""
+        return len(self._buf)
+
+    @property
+    def at_boundary(self) -> bool:
+        """True iff no partial frame is buffered."""
+        return not self._buf
+
+    def feed(self, data: bytes) -> list[tuple[dict, bytes]]:
+        """Append bytes; return every frame completed by them."""
+        self._buf.extend(data)
+        frames: list[tuple[dict, bytes]] = []
+        while True:
+            if len(self._buf) < _PREFIX.size:
+                break
+            header_len, blob_len = _PREFIX.unpack_from(self._buf)
+            _check_lengths(header_len, blob_len)
+            total = _PREFIX.size + header_len + blob_len
+            if len(self._buf) < total:
+                break
+            header = bytes(self._buf[_PREFIX.size:_PREFIX.size + header_len])
+            blob = bytes(self._buf[_PREFIX.size + header_len:total])
+            del self._buf[:total]
+            frames.append((_decode_header(header), blob))
+        return frames
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> tuple[dict, bytes] | None:
+    """Read one frame from an asyncio stream.
+
+    Returns:
+        ``(msg, blob)``, or ``None`` on a clean EOF (the peer closed
+        the connection exactly between frames).
+
+    Raises:
+        ProtocolError: torn frame (EOF mid-frame) or any structural
+            violation.
+    """
+    try:
+        prefix = await reader.readexactly(_PREFIX.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"torn frame: connection closed after {len(exc.partial)} B "
+            f"of the {_PREFIX.size}-byte prefix"
+        ) from exc
+    header_len, blob_len = _PREFIX.unpack(prefix)
+    _check_lengths(header_len, blob_len)
+    try:
+        body = await reader.readexactly(header_len + blob_len)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"torn frame: connection closed after {len(exc.partial)} B "
+            f"of a {header_len + blob_len}-byte body"
+        ) from exc
+    return _decode_header(body[:header_len]), body[header_len:]
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, msg: dict, blob: bytes = b""
+) -> None:
+    """Serialise and send one frame, draining the transport."""
+    writer.write(encode_frame(msg, blob))
+    await writer.drain()

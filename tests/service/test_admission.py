@@ -1,0 +1,169 @@
+"""Admission control: modelled clock, token bucket, shared link, priority."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.admission import (
+    AdmissionController,
+    ModeledLink,
+    ServiceClock,
+    TokenBucket,
+)
+
+
+class FakeTime:
+    """Injectable monotonic source so tests control the wall clock."""
+
+    def __init__(self) -> None:
+        self.t = 100.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestServiceClock:
+    def test_now_scales_by_speedup(self):
+        wall = FakeTime()
+        clock = ServiceClock(speedup=200.0, clock=wall)
+        assert clock.now() == 0.0
+        wall.t += 0.5
+        assert clock.now() == pytest.approx(100.0)
+
+    def test_to_real_inverts_speedup(self):
+        clock = ServiceClock(speedup=50.0, clock=FakeTime())
+        assert clock.to_real(5.0) == pytest.approx(0.1)
+        assert clock.to_real(-3.0) == 0.0
+
+    def test_bad_speedup(self):
+        with pytest.raises(ConfigurationError):
+            ServiceClock(speedup=0)
+
+
+class TestTokenBucket:
+    def test_burst_is_free(self):
+        bucket = TokenBucket(rate_bytes_per_s=100.0, burst_bytes=500.0)
+        assert bucket.reserve(500, now=0.0) == 0.0
+
+    def test_debt_waits_for_refill(self):
+        bucket = TokenBucket(rate_bytes_per_s=100.0, burst_bytes=0.0)
+        # 200 bytes at 100 B/s with no burst: 2 s of debt.
+        assert bucket.reserve(200, now=0.0) == pytest.approx(2.0)
+        # Immediately reserving more stacks on the existing debt.
+        assert bucket.reserve(100, now=0.0) == pytest.approx(3.0)
+
+    def test_refill_clears_debt(self):
+        bucket = TokenBucket(rate_bytes_per_s=100.0, burst_bytes=0.0)
+        bucket.reserve(200, now=0.0)
+        assert bucket.reserve(0, now=2.0) == 0.0
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate_bytes_per_s=100.0, burst_bytes=100.0)
+        bucket.reserve(100, now=0.0)  # drained
+        # 1000 s idle refills at most `burst`, not rate * elapsed.
+        assert bucket.reserve(200, now=1000.0) == pytest.approx(1.0)
+
+    def test_time_never_runs_backwards(self):
+        bucket = TokenBucket(rate_bytes_per_s=100.0, burst_bytes=0.0)
+        bucket.reserve(100, now=5.0)
+        # An out-of-order caller must not mint free elapsed time.
+        assert bucket.reserve(0, now=1.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate_bytes_per_s=0, burst_bytes=1)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate_bytes_per_s=1, burst_bytes=-1)
+        bucket = TokenBucket(rate_bytes_per_s=1, burst_bytes=1)
+        with pytest.raises(ConfigurationError):
+            bucket.reserve(-1, now=0.0)
+
+
+class TestModeledLink:
+    def test_idle_link_charges_service_time(self):
+        link = ModeledLink(capacity_bytes_per_s=1000.0)
+        assert link.reserve(500, now=0.0) == pytest.approx(0.5)
+
+    def test_fifo_queueing(self):
+        link = ModeledLink(capacity_bytes_per_s=1000.0)
+        link.reserve(1000, now=0.0)  # busy until t=1
+        # Second transfer queues: 1 s wait + 0.5 s service.
+        assert link.reserve(500, now=0.0) == pytest.approx(1.5)
+
+    def test_idle_gap_is_not_charged(self):
+        link = ModeledLink(capacity_bytes_per_s=1000.0)
+        link.reserve(1000, now=0.0)
+        # Arriving at t=5 finds the link idle again.
+        assert link.reserve(1000, now=5.0) == pytest.approx(1.0)
+        assert link.busy_seconds == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ModeledLink(capacity_bytes_per_s=0)
+
+
+def controller(wall, **kwargs):
+    clock = ServiceClock(speedup=1.0, clock=wall)
+    link = ModeledLink(capacity_bytes_per_s=1000.0)
+    return AdmissionController(link, clock, **kwargs)
+
+
+class TestAdmissionController:
+    def test_uncapped_repair_only_queues_on_link(self):
+        admission = controller(FakeTime())
+        assert admission.repair_delay(500) == pytest.approx(0.5)
+        assert admission.repair_delay(500) == pytest.approx(1.0)
+
+    def test_cap_slows_repair_but_not_clients(self):
+        wall = FakeTime()
+        admission = controller(wall, repair_cap_bytes_per_s=100.0,
+                               repair_burst_bytes=0.0)
+        # Repair pays the token wait on top of link time...
+        assert admission.repair_delay(500) == pytest.approx(5.0 + 0.5)
+        # ...but the link itself was only charged 0.5 s, so a client
+        # arriving now queues behind 0.5 s of traffic, not 5.5 s.
+        assert admission.client_delay(500) == pytest.approx(0.5 + 0.5)
+
+    def test_client_priority_taxes_repair_while_clients_active(self):
+        wall = FakeTime()
+        admission = controller(
+            wall,
+            repair_cap_bytes_per_s=100.0,
+            repair_burst_bytes=0.0,
+            client_priority=4.0,
+            priority_window=10.0,
+        )
+        admission.client_delay(0)  # mark clients active at t=0
+        # 100 repair bytes cost 400 tokens: 4 s of token wait.
+        assert admission.repair_delay(100) == pytest.approx(4.0 + 0.1)
+
+    def test_priority_lapses_after_window(self):
+        wall = FakeTime()
+        admission = controller(
+            wall,
+            repair_cap_bytes_per_s=100.0,
+            repair_burst_bytes=0.0,
+            client_priority=4.0,
+            priority_window=1.0,
+        )
+        admission.client_delay(0)
+        wall.t += 5.0  # modelled t=5, window over
+        assert admission.repair_delay(100) == pytest.approx(1.0 + 0.1)
+
+    def test_priority_must_not_penalise_clients(self):
+        with pytest.raises(ConfigurationError):
+            controller(FakeTime(), client_priority=0.5)
+
+    def test_snapshot_counts_bytes(self):
+        admission = controller(
+            FakeTime(), repair_cap_bytes_per_s=100.0, client_priority=2.0
+        )
+        admission.client_delay(300)
+        admission.repair_delay(700)
+        snap = admission.snapshot()
+        assert snap["client_bytes"] == 300
+        assert snap["repair_bytes"] == 700
+        assert snap["repair_cap_bytes_per_s"] == 100.0
+        assert snap["client_priority"] == 2.0
+        assert snap["link_busy_model_s"] == pytest.approx(1.0)

@@ -1,0 +1,193 @@
+"""End-to-end service: detection, degraded reads under live repair."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import NoValidSolutionError
+from repro.obs.tracer import validate_events
+from repro.service.cluster import LocalCluster
+
+
+def make_cluster(tmp_path, **kwargs):
+    defaults = dict(
+        workdir=tmp_path,
+        num_stripes=8,
+        chunk_size=1024,
+        speedup=400.0,
+    )
+    defaults.update(kwargs)
+    return LocalCluster(**defaults)
+
+
+async def wait_for_repair_start(cluster, timeout=30.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while cluster.coordinator.repair is None:
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("failure was never detected")
+        await asyncio.sleep(0.005)
+
+
+class TestHealthyReads:
+    def test_read_without_failure_is_direct(self, tmp_path):
+        async def drill():
+            cluster = make_cluster(tmp_path)
+            await cluster.start()
+            try:
+                client = await cluster.client()
+                reply = await client.read(0)
+                assert reply["ok"]
+                assert not reply["degraded"]
+                assert reply["data"] == cluster.state.data.chunk(
+                    0, reply["chunk"]
+                ).tobytes()
+                await client.close()
+            finally:
+                await cluster.stop()
+
+        asyncio.run(drill())
+
+
+class TestFailureToRepair:
+    def test_kill_detect_repair_verify(self, tmp_path):
+        """The whole arc: silence -> DEAD -> background repair -> verified."""
+
+        async def drill():
+            cluster = make_cluster(tmp_path)
+            await cluster.start()
+            try:
+                victim = cluster.pick_victim()
+                cluster.kill_node(victim)
+                # Detection is by lease timeout, never notification.
+                await wait_for_repair_start(cluster)
+                assert cluster.state.failed_node == victim
+                await cluster.wait_repair(timeout=60)
+                repair = cluster.coordinator.repair
+                assert repair.error is None and repair.crash is None
+                assert repair.result.verified
+                done = len(repair.result.executed) + len(
+                    repair.result.replayed
+                )
+                assert done == len(list(cluster.state.affected_stripes()))
+                events = cluster.all_events()
+                validate_events(events)
+                names = {
+                    e["name"] for e in events if e.get("type") == "event"
+                }
+                assert "service.failure.primary" in names
+                assert "service.repair.done" in names
+            finally:
+                await cluster.stop()
+
+        asyncio.run(drill())
+
+    def test_degraded_reads_under_live_repair(self, tmp_path):
+        async def drill():
+            cluster = make_cluster(
+                tmp_path, repair_cap=1024, speedup=50.0
+            )
+            await cluster.start()
+            try:
+                victim = cluster.pick_victim()
+                cluster.kill_node(victim)
+                await wait_for_repair_start(cluster)
+                stripes = list(cluster.state.affected_stripes())
+                assert stripes
+                client = await cluster.client()
+                for stripe in stripes:
+                    reply = await client.read(stripe)
+                    assert reply["ok"], f"stripe {stripe} mismatched"
+                    assert reply["degraded"]
+                    assert reply["racks"] >= 1
+                    assert reply["data"] == cluster.state.data.chunk(
+                        stripe, reply["chunk"]
+                    ).tobytes()
+                status = await client.status()
+                assert status["degraded_reads"] >= len(stripes)
+                assert status["repair"]["status"] in (
+                    "running",
+                    "finished",
+                )
+                await client.close()
+                await cluster.wait_repair(timeout=120)
+                assert cluster.coordinator.repair.result.verified
+                trace = cluster.write_trace()
+                assert trace.exists()
+            finally:
+                await cluster.stop()
+
+        asyncio.run(drill())
+
+
+class TestSecondaryFailure:
+    def test_secondary_node_death_replans(self, tmp_path):
+        """A helper dying mid-repair cancels, re-plans, and still verifies."""
+
+        async def drill():
+            cluster = make_cluster(
+                tmp_path, repair_cap=1024, speedup=50.0
+            )
+            await cluster.start()
+            try:
+                victim = cluster.pick_victim()
+                cluster.kill_node(victim)
+                await wait_for_repair_start(cluster)
+                topo = cluster.state.topology
+                second = next(
+                    n.node_id
+                    for n in topo.nodes
+                    if n.node_id != victim
+                    and topo.rack_of(n.node_id) != topo.rack_of(victim)
+                )
+                cluster.kill_node(second)
+                await cluster.wait_repair(timeout=120)
+                repair = cluster.coordinator.repair
+                assert repair.result is not None, (
+                    repair.error,
+                    repair.crash,
+                )
+                assert repair.result.verified
+                assert repair.replans >= 1
+                assert second in repair.dead_nodes
+                events = cluster.all_events()
+                validate_events(events)
+                assert any(
+                    e.get("type") == "event"
+                    and e["name"] == "service.repair.replan"
+                    for e in events
+                )
+            finally:
+                await cluster.stop()
+
+        asyncio.run(drill())
+
+    def test_losing_a_whole_chunkserver_is_data_loss(self, tmp_path):
+        """Killing a whole daemon drops too many chunks: a terminal error."""
+
+        async def drill():
+            cluster = make_cluster(
+                tmp_path, repair_cap=1024, speedup=50.0
+            )
+            await cluster.start()
+            try:
+                victim = cluster.pick_victim()
+                cluster.kill_node(victim)
+                await wait_for_repair_start(cluster)
+                other = next(
+                    cs
+                    for cs in cluster.chunkservers
+                    if victim not in cs.nodes
+                )
+                cluster.kill_chunkserver(other.server_id)
+                await cluster.wait_repair(timeout=120)
+                repair = cluster.coordinator.repair
+                assert repair.result is None
+                assert isinstance(
+                    repair.error, NoValidSolutionError
+                ) or repair.error is not None
+            finally:
+                await cluster.stop()
+
+        asyncio.run(drill())

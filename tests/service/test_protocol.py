@@ -1,0 +1,191 @@
+"""Wire-protocol frames: round-trips, torn frames, size limits."""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service.protocol import (
+    MAX_BLOB_BYTES,
+    MAX_HEADER_BYTES,
+    FrameReader,
+    MsgType,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+
+class TestRoundTrip:
+    def test_header_only(self):
+        msg = {"type": MsgType.HEARTBEAT, "server": "cs0", "nodes": [1, 2]}
+        decoded, blob = decode_frame(encode_frame(msg))
+        assert decoded == msg
+        assert blob == b""
+
+    def test_header_and_blob(self):
+        payload = bytes(range(256)) * 17
+        msg = {"type": MsgType.CHUNK_DATA, "stripe": 3, "chunk": 1}
+        decoded, blob = decode_frame(encode_frame(msg, payload))
+        assert decoded == msg
+        assert blob == payload
+
+    def test_unicode_header(self):
+        msg = {"type": MsgType.ERROR, "error": "rack échoué"}
+        decoded, _ = decode_frame(encode_frame(msg))
+        assert decoded == msg
+
+    def test_non_dict_header_refused(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(["not", "a", "dict"])
+
+    def test_missing_type_refused(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"no_type": 1})
+
+
+class TestTornFrames:
+    def test_every_truncation_point_is_torn(self):
+        frame = encode_frame({"type": MsgType.STATUS}, b"xyz")
+        for cut in range(len(frame)):
+            with pytest.raises(ProtocolError):
+                decode_frame(frame[:cut])
+
+    def test_trailing_garbage_refused(self):
+        frame = encode_frame({"type": MsgType.STATUS})
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_frame(frame + b"\x00")
+
+    def test_header_not_json(self):
+        raw = struct.pack("!II", 3, 0) + b"{{{"
+        with pytest.raises(ProtocolError, match="JSON"):
+            decode_frame(raw)
+
+    def test_header_json_but_not_object(self):
+        body = b"[1, 2]"
+        raw = struct.pack("!II", len(body), 0) + body
+        with pytest.raises(ProtocolError, match="object"):
+            decode_frame(raw)
+
+
+class TestSizeLimits:
+    def test_oversized_declared_header(self):
+        raw = struct.pack("!II", MAX_HEADER_BYTES + 1, 0)
+        with pytest.raises(ProtocolError, match="header length"):
+            decode_frame(raw + b"\x00" * 8)
+
+    def test_oversized_declared_blob(self):
+        raw = struct.pack("!II", 2, MAX_BLOB_BYTES + 1) + b"{}"
+        with pytest.raises(ProtocolError, match="blob length"):
+            decode_frame(raw + b"\x00" * 8)
+
+    def test_encode_refuses_oversized_header(self):
+        msg = {"type": "x", "pad": "a" * (MAX_HEADER_BYTES + 1)}
+        with pytest.raises(ProtocolError, match="header"):
+            encode_frame(msg)
+
+    def test_reader_raises_before_body_arrives(self):
+        # The incremental reader must refuse a hostile length prefix
+        # immediately, not buffer 64 MiB waiting for it.
+        reader = FrameReader()
+        with pytest.raises(ProtocolError):
+            reader.feed(struct.pack("!II", MAX_HEADER_BYTES + 1, 0))
+
+
+class TestFrameReader:
+    def test_byte_at_a_time(self):
+        msg = {"type": MsgType.READ, "stripe": 9}
+        wire = encode_frame(msg, b"pay")
+        reader = FrameReader()
+        frames = []
+        for i in range(len(wire)):
+            frames.extend(reader.feed(wire[i : i + 1]))
+        assert frames == [(msg, b"pay")]
+        assert reader.at_boundary
+
+    def test_two_frames_one_feed(self):
+        a = encode_frame({"type": "a"})
+        b = encode_frame({"type": "b"}, b"blob")
+        reader = FrameReader()
+        frames = reader.feed(a + b)
+        assert [m["type"] for m, _ in frames] == ["a", "b"]
+
+    def test_partial_tail_stays_buffered(self):
+        wire = encode_frame({"type": "a"}) + b"\x00\x00"
+        reader = FrameReader()
+        frames = reader.feed(wire)
+        assert len(frames) == 1
+        assert not reader.at_boundary
+        assert reader.buffered == 2
+
+
+class TestAsyncStreams:
+    def _reader_with(self, data: bytes, eof: bool = True):
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        if eof:
+            reader.feed_eof()
+        return reader
+
+    def test_read_one_frame(self):
+        msg = {"type": MsgType.STATUS}
+
+        async def run():
+            reader = self._reader_with(encode_frame(msg, b"zz"))
+            return await read_frame(reader)
+
+        got_msg, blob = asyncio.run(run())
+        assert got_msg == msg
+        assert blob == b"zz"
+
+    def test_clean_eof_returns_none(self):
+        async def run():
+            return await read_frame(self._reader_with(b""))
+
+        assert asyncio.run(run()) is None
+
+    def test_eof_mid_prefix_is_torn(self):
+        async def run():
+            return await read_frame(self._reader_with(b"\x00\x00"))
+
+        with pytest.raises(ProtocolError, match="torn"):
+            asyncio.run(run())
+
+    def test_eof_mid_body_is_torn(self):
+        wire = encode_frame({"type": MsgType.STATUS}, b"abcdef")
+
+        async def run():
+            return await read_frame(self._reader_with(wire[:-2]))
+
+        with pytest.raises(ProtocolError, match="torn"):
+            asyncio.run(run())
+
+    def test_write_then_read_over_socket(self):
+        msg = {"type": MsgType.READ_CHUNK, "stripe": 0, "chunk": 2, "node": 5}
+
+        async def run():
+            received = []
+            done = asyncio.Event()
+
+            async def serve(reader, writer):
+                received.append(await read_frame(reader))
+                writer.close()
+                done.set()
+
+            server = await asyncio.start_server(serve, "127.0.0.1", 0)
+            addr = server.sockets[0].getsockname()[:2]
+            _, writer = await asyncio.open_connection(*addr)
+            await write_frame(writer, msg, b"net")
+            await done.wait()
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return received[0]
+
+        got_msg, blob = asyncio.run(run())
+        assert got_msg == msg
+        assert blob == b"net"

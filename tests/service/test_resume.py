@@ -1,0 +1,142 @@
+"""Kill the coordinator mid-repair; a fresh one resumes from the journal.
+
+Two levels, both riding the durable layer's crash machinery
+(``crash_after_records``, the same hook the crash matrix in
+``tests/durable/`` sweeps):
+
+- :class:`~repro.service.repair.RepairService` driven directly on the
+  shared ``build_failed_cluster`` helper from ``tests/durable/conftest``;
+- the full :class:`~repro.service.cluster.LocalCluster` drill through
+  :meth:`~repro.service.cluster.LocalCluster.restart_coordinator`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from tests.durable.conftest import build_failed_cluster
+
+from repro.recovery.baselines import CarStrategy
+from repro.service.admission import (
+    AdmissionController,
+    ModeledLink,
+    ServiceClock,
+)
+from repro.service.cluster import LocalCluster
+from repro.service.repair import RepairService
+
+
+def make_admission():
+    clock = ServiceClock(speedup=100_000.0)
+    return clock, AdmissionController(ModeledLink(1 << 30), clock)
+
+
+def make_service(state, event, journal, clock, admission, **kwargs):
+    service = RepairService(
+        state,
+        event,
+        CarStrategy(),
+        journal,
+        clock,
+        admission,
+        window=2,
+        **kwargs,
+    )
+    service.start()
+    assert service.join(timeout=60)
+    return service
+
+
+class TestRepairServiceResume:
+    def test_crash_then_resume_replays_committed_stripes(self, tmp_path):
+        state, event = build_failed_cluster()
+        journal = tmp_path / "repair.journal"
+        clock, admission = make_admission()
+
+        # Incarnation 1: the coordinator dies mid-journal.
+        first = make_service(
+            state, event, journal, clock, admission,
+            crash_after_records=12,
+        )
+        assert first.crash is not None
+        assert first.result is None
+        assert first.snapshot()["status"] == "crashed"
+        assert journal.exists()
+
+        # Incarnation 2: same state + journal path, no crash armed.
+        second = make_service(state, event, journal, clock, admission)
+        result = second.result
+        assert result is not None, (second.error, second.crash)
+        assert result.verified  # byte-identical against ground truth
+        assert result.replayed, "crash landed after a commit: must replay"
+        assert set(result.replayed) | set(result.executed) == set(event.stripes)
+        # Replayed stripes ship no cross-rack bytes the second time.
+        assert result.live_cross_rack_bytes < result.cross_rack_bytes
+        snap = second.snapshot()
+        assert snap["status"] == "finished"
+        assert snap["live_cross_rack_bytes"] < snap["cross_rack_bytes"]
+
+    def test_crash_before_any_commit_reruns_everything(self, tmp_path):
+        state, event = build_failed_cluster()
+        journal = tmp_path / "repair.journal"
+        clock, admission = make_admission()
+        first = make_service(
+            state, event, journal, clock, admission,
+            crash_after_records=2,
+        )
+        assert first.crash is not None
+        second = make_service(state, event, journal, clock, admission)
+        result = second.result
+        assert result is not None and result.verified
+        assert not result.replayed
+        assert set(result.executed) == set(event.stripes)
+
+
+class TestLocalClusterResume:
+    def test_restart_coordinator_resumes_from_journal(self, tmp_path):
+        async def drill():
+            cluster = LocalCluster(
+                workdir=tmp_path,
+                num_stripes=8,
+                chunk_size=1024,
+                repair_cap=32 * 1024,
+                speedup=50.0,
+                crash_after_records=18,
+            )
+            await cluster.start()
+            try:
+                victim = cluster.pick_victim()
+                cluster.kill_node(victim)
+                await cluster.wait_repair(timeout=60)
+                crashed = cluster.coordinator.repair
+                assert crashed.crash is not None
+                assert cluster.journal_path.exists()
+
+                await cluster.restart_coordinator()
+                await cluster.wait_repair(timeout=120)
+                repair = cluster.coordinator.repair
+                result = repair.result
+                assert result is not None, (repair.error, repair.crash)
+                assert result.verified
+                assert result.replayed
+                assert result.live_cross_rack_bytes < result.cross_rack_bytes
+                done = set(result.replayed) | set(result.executed)
+                assert done == set(cluster.state.affected_stripes())
+
+                # Degraded data is whole again end-to-end: a client read
+                # of a replayed stripe matches ground truth bytes.
+                client = await cluster.client()
+                reply = await client.read(result.replayed[0])
+                assert reply["ok"]
+                assert reply["data"] == cluster.state.data.chunk(
+                    result.replayed[0], reply["chunk"]
+                ).tobytes()
+                await client.close()
+
+                # The merged trace (dead coordinator + live one) validates.
+                trace = cluster.write_trace()
+                assert trace.exists()
+            finally:
+                await cluster.stop()
+
+        asyncio.run(drill())
